@@ -1,0 +1,141 @@
+// Package aanoc is a full reproduction of "Application-Aware NoC Design
+// for Efficient SDRAM Access" (Jang & Pan, DAC 2010 / IEEE TCAD 2011): a
+// cycle-level model of a multimedia system-on-chip in which many cores
+// share one DDR SDRAM through a mesh network-on-chip, together with the
+// seven NoC/memory design points the paper evaluates — from a
+// conventional round-robin NoC with a thread-buffered memory scheduler
+// (CONV) through the SDRAM-aware NoC of the authors' earlier work ([4])
+// to the paper's contribution: GSS routers (guaranteed SDRAM service,
+// token-based hybrid priority flow control) with SAGM (SDRAM access
+// granularity matching) and STI (short turn-around interleaving) support.
+//
+// The package is a facade over the internal substrates:
+//
+//   - internal/dram — command-accurate DDR I/II/III device model
+//   - internal/noc — flit-level wormhole mesh with credit flow control
+//   - internal/core — the GSS flow-control algorithm and SAGM splitter
+//   - internal/router — conventional round-robin / priority-first policies
+//   - internal/memctrl — the two memory subsystems
+//   - internal/traffic, internal/appmodel — the three application models
+//   - internal/system — the full-system simulator
+//   - internal/area — Table IV/V gate-count and power models
+//
+// Typical use:
+//
+//	res, err := aanoc.Run(aanoc.Config{
+//		App: "bluray", Generation: 2, Design: aanoc.GSSSAGM,
+//		PriorityDemand: true, Cycles: 200_000,
+//	})
+//
+// The table drivers (TableI, TableII, TableIII, Fig8, TableIV, TableV)
+// regenerate every quantitative result in the paper's evaluation section.
+package aanoc
+
+import (
+	"fmt"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+)
+
+// Design identifies one of the seven evaluated NoC/memory design points.
+type Design = system.Design
+
+// The seven design points, in the paper's naming.
+const (
+	Conv          = system.Conv          // CONV
+	ConvPFS       = system.ConvPFS       // CONV+PFS
+	SDRAMAware    = system.SDRAMAware    // [4]
+	SDRAMAwarePFS = system.SDRAMAwarePFS // [4]+PFS
+	GSS           = system.GSS           // GSS
+	GSSSAGM       = system.GSSSAGM       // GSS+SAGM
+	GSSSAGMSTI    = system.GSSSAGMSTI    // GSS+SAGM+STI
+)
+
+// Designs lists all seven design points in evaluation order.
+func Designs() []Design { return system.Designs() }
+
+// ParseDesign resolves a design from its paper name or a lowercase
+// shorthand ("conv", "gss+sagm", ...).
+func ParseDesign(s string) (Design, error) { return system.ParseDesign(s) }
+
+// Apps lists the benchmark application names: "bluray", "sdtv", "ddtv".
+func Apps() []string {
+	var out []string
+	for _, a := range appmodel.Apps() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Config selects one simulation run.
+type Config struct {
+	// App is "bluray", "sdtv" or "ddtv".
+	App string
+	// Generation is the DDR generation, 1-3.
+	Generation int
+	// ClockMHz is the memory clock; 0 selects the application's paper
+	// clock for the generation (Table I rows).
+	ClockMHz int
+	Design   Design
+	// PCT is the priority control token of the GSS hybrid (default 3).
+	PCT int
+	// GSSRouters is the Fig. 8 knob: 0 = all routers run the GSS engine,
+	// -1 = none, k>0 = the k routers nearest the memory.
+	GSSRouters int
+	// PriorityDemand serves CPU demand requests as priority packets
+	// (Table II); off reproduces Table I.
+	PriorityDemand bool
+	// VirtualChannels selects the router buffer organisation: 1 (default)
+	// is the paper's wormhole implementation, 2 adds a priority virtual
+	// channel (the alternative blocking remedy the paper mentions).
+	VirtualChannels int
+	// AdaptiveRouting replaces XY routing with the west-first adaptive
+	// turn model in both meshes (the paper's adaptive-router variant).
+	AdaptiveRouting bool
+	// Cycles is the simulated length in memory clock cycles
+	// (default 200,000; the paper runs 1,000,000).
+	Cycles int64
+	Seed   uint64
+}
+
+// Result carries one run's measurements; see the field documentation in
+// internal/system.
+type Result = system.Result
+
+// toInternal resolves the public config into the system configuration.
+func (c Config) toInternal() (system.Config, error) {
+	name := c.App
+	if name == "" {
+		name = "bluray"
+	}
+	app, err := appmodel.ByName(name)
+	if err != nil {
+		return system.Config{}, err
+	}
+	gen := dram.Generation(c.Generation)
+	if c.Generation == 0 {
+		gen = dram.DDR2
+	}
+	if gen < dram.DDR1 || gen > dram.DDR3 {
+		return system.Config{}, fmt.Errorf("aanoc: invalid DDR generation %d", c.Generation)
+	}
+	return system.Config{
+		App: app, Gen: gen, ClockMHz: c.ClockMHz, Design: c.Design,
+		PCT: c.PCT, GSSRouters: c.GSSRouters,
+		PriorityDemand:  c.PriorityDemand,
+		VirtualChannels: c.VirtualChannels,
+		AdaptiveRouting: c.AdaptiveRouting,
+		Cycles:          c.Cycles, Seed: c.Seed,
+	}, nil
+}
+
+// Run executes one simulation and returns the paper's metrics.
+func Run(c Config) (Result, error) {
+	cfg, err := c.toInternal()
+	if err != nil {
+		return Result{}, err
+	}
+	return system.Run(cfg)
+}

@@ -1,0 +1,122 @@
+package aanoc
+
+import "testing"
+
+func TestRunDefaults(t *testing.T) {
+	res, err := Run(Config{Design: GSS, Cycles: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "bluray" || res.Gen != 2 {
+		t.Fatalf("defaults wrong: %+v", res)
+	}
+	if res.Utilization <= 0 || res.Completed == 0 {
+		t.Fatalf("empty run: %+v", res)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{App: "nope", Cycles: 1000}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Run(Config{Generation: 9, Cycles: 1000}); err == nil {
+		t.Error("invalid generation accepted")
+	}
+}
+
+func TestAppsAndDesigns(t *testing.T) {
+	if len(Apps()) != 3 {
+		t.Fatalf("apps = %v", Apps())
+	}
+	if len(Designs()) != 7 {
+		t.Fatalf("designs = %v", Designs())
+	}
+	for _, d := range Designs() {
+		if got, err := ParseDesign(d.String()); err != nil || got != d {
+			t.Errorf("ParseDesign round trip failed for %s", d)
+		}
+	}
+}
+
+func TestTableDriversSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table drivers are long")
+	}
+	o := TableOptions{Cycles: 10_000}
+	t1, err := TableI(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1) != 3*3*4 {
+		t.Fatalf("Table I rows = %d, want 36", len(t1))
+	}
+	t2, err := TableII(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t2) != 36 {
+		t.Fatalf("Table II rows = %d, want 36", len(t2))
+	}
+	for _, r := range t2 {
+		if r.LatencyPriority <= 0 {
+			t.Fatalf("Table II row without priority latency: %+v", r)
+		}
+	}
+	t3, err := TableIII(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3) != 6 {
+		t.Fatalf("Table III rows = %d, want 6", len(t3))
+	}
+	if s := FormatRows(t3); len(s) == 0 {
+		t.Fatal("FormatRows empty")
+	}
+}
+
+func TestFig8Driver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is long")
+	}
+	pts, err := Fig8("sdtv", 1, 200, TableOptions{Cycles: 20_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("points = %d, want 10 (k=0..9)", len(pts))
+	}
+	if pts[0].GSSRouters != 0 || pts[9].GSSRouters != 9 {
+		t.Fatalf("sweep bounds wrong: %+v", pts)
+	}
+	// The paper's saturation effect: three GSS routers capture most of
+	// the utilization gain.
+	if pts[3].Utilization <= pts[0].Utilization {
+		t.Errorf("k=3 (%.3f) should beat k=0 (%.3f)", pts[3].Utilization, pts[0].Utilization)
+	}
+}
+
+func TestTableIVandV(t *testing.T) {
+	rows := TableIV()
+	if len(rows) != 3 {
+		t.Fatalf("Table IV rows = %d", len(rows))
+	}
+	if rows[2].NoC3x3 >= rows[0].NoC3x3 {
+		t.Error("proposed design should be smallest")
+	}
+	if testing.Short() {
+		return
+	}
+	pw, err := TableV(TableOptions{Cycles: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pw) != 9 {
+		t.Fatalf("Table V rows = %d, want 9", len(pw))
+	}
+	for i := 0; i < 9; i += 3 {
+		conv, ours := pw[i], pw[i+2]
+		if conv.PowerMW <= ours.PowerMW {
+			t.Errorf("%s: CONV power (%.1f) should exceed ours (%.1f)", conv.App, conv.PowerMW, ours.PowerMW)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command aanoc-fig8 regenerates the paper's Fig. 8: memory utilization
+// (a), latency of all packets (b) and latency of priority packets (c) as
+// conventional routers are replaced by GSS routers, nearest the memory
+// subsystem first. The paper pairs single DTV with DDR I at 200 MHz,
+// Blu-ray with DDR II at 333 MHz and dual DTV with DDR III at 667 MHz.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aanoc"
+)
+
+func main() {
+	var (
+		cycles = flag.Int64("cycles", 120_000, "simulated cycles per point")
+		seed   = flag.Uint64("seed", 0, "RNG seed")
+	)
+	flag.Parse()
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed}
+	curves := []struct {
+		app   string
+		gen   int
+		clock int
+	}{
+		{"sdtv", 1, 200},
+		{"bluray", 2, 333},
+		{"ddtv", 3, 667},
+	}
+	for _, c := range curves {
+		pts, err := aanoc.Fig8(c.app, c.gen, c.clock, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-fig8:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Fig. 8 — %s, DDR%d @ %d MHz ===\n", c.app, c.gen, c.clock)
+		fmt.Printf("%4s %8s %10s %10s\n", "#GSS", "util", "lat-all", "lat-pri")
+		for _, p := range pts {
+			fmt.Printf("%4d %8.3f %10.0f %10.0f\n", p.GSSRouters, p.Utilization, p.LatencyAll, p.LatencyPriority)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,219 @@
+// Command aanoc-report runs the complete evaluation and emits a markdown
+// paper-vs-measured report: for every table and figure of the paper it
+// prints the published values alongside this reproduction's measurements
+// and the derived ratios the paper's claims rest on. EXPERIMENTS.md is
+// this tool's output plus hand-written analysis.
+//
+//	aanoc-report -cycles 200000 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aanoc"
+	"aanoc/internal/paperdata"
+)
+
+func main() {
+	var (
+		cycles = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
+		seed   = flag.Uint64("seed", 0, "RNG seed")
+	)
+	flag.Parse()
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed}
+
+	fmt.Printf("# Paper vs. measured (%d cycles per run)\n\n", *cycles)
+	fmt.Println("Latencies are in memory-clock cycles. `paper` columns are the")
+	fmt.Println("published values; `ours` columns are this reproduction. Our latency")
+	fmt.Println("is measured from network entry to completion under a saturated")
+	fmt.Println("open-loop workload, so absolute cycle counts are larger than the")
+	fmt.Println("paper's; the comparisons that matter are the per-design ratios.")
+	fmt.Println()
+
+	if err := tableI(o); err != nil {
+		fail(err)
+	}
+	if err := tableII(o); err != nil {
+		fail(err)
+	}
+	if err := tableIII(o); err != nil {
+		fail(err)
+	}
+	if err := fig8(o); err != nil {
+		fail(err)
+	}
+	tableIV()
+	if err := tableV(o); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aanoc-report:", err)
+	os.Exit(1)
+}
+
+// index measured rows by (app, gen, design-name).
+func indexRows(rows []aanoc.Row) map[string]aanoc.Row {
+	m := map[string]aanoc.Row{}
+	for _, r := range rows {
+		m[fmt.Sprintf("%s/%d/%s", r.App, r.Gen, r.Design)] = r
+	}
+	return m
+}
+
+func comparisonTable(title string, entries []paperdata.Entry, designs [4]string, rows []aanoc.Row, demandLabel string) {
+	fmt.Printf("## %s\n\n", title)
+	byKey := indexRows(rows)
+	fmt.Printf("| app | DDR | design | util paper | util ours | lat-all paper | lat-all ours | %s paper | %s ours |\n", demandLabel, demandLabel)
+	fmt.Println("|---|---|---|---|---|---|---|---|---|")
+	for _, e := range entries {
+		for i, d := range designs {
+			r, ok := byKey[fmt.Sprintf("%s/%d/%s", e.App, e.Gen, d)]
+			if !ok {
+				continue
+			}
+			dem := r.LatencyDemand
+			if demandLabel == "lat-pri" {
+				dem = r.LatencyPriority
+			}
+			fmt.Printf("| %s | %d | %s | %.3f | %.3f | %.0f | %.0f | %.0f | %.0f |\n",
+				e.App, e.Gen, d, e.Cells[i].Util, r.Utilization,
+				e.Cells[i].LatAll, r.LatencyAll, e.Cells[i].LatDem, dem)
+		}
+	}
+	fmt.Println()
+	// Ratio summary against the [4]-style column (index 1).
+	pu, pl, pd := paperdata.AverageRatios(entries, 1)
+	var ours [4]struct{ u, useful, l, d, n float64 }
+	for _, e := range entries {
+		for i, d := range designs {
+			if r, ok := byKey[fmt.Sprintf("%s/%d/%s", e.App, e.Gen, d)]; ok {
+				ours[i].u += r.Utilization
+				ours[i].useful += r.UsefulUtilization
+				ours[i].l += r.LatencyAll
+				if demandLabel == "lat-pri" {
+					ours[i].d += r.LatencyPriority
+				} else {
+					ours[i].d += r.LatencyDemand
+				}
+				ours[i].n++
+			}
+		}
+	}
+	fmt.Println("Average ratios against the `[4]`-style column:")
+	fmt.Println()
+	fmt.Printf("| design | util paper | util ours | useful-util ours | lat-all paper | lat-all ours | %s paper | %s ours |\n", demandLabel, demandLabel)
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for i, d := range designs {
+		fmt.Printf("| %s | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f | %.3f |\n",
+			d, pu[i], ours[i].u/ours[1].u, ours[i].useful/ours[1].useful,
+			pl[i], ours[i].l/ours[1].l, pd[i], ours[i].d/ours[1].d)
+	}
+	fmt.Println()
+}
+
+func tableI(o aanoc.TableOptions) error {
+	rows, err := aanoc.TableI(o)
+	if err != nil {
+		return err
+	}
+	comparisonTable("Table I — no priority memory requests", paperdata.TableI, paperdata.TableIDesigns, rows, "lat-dem")
+	return nil
+}
+
+func tableII(o aanoc.TableOptions) error {
+	rows, err := aanoc.TableII(o)
+	if err != nil {
+		return err
+	}
+	comparisonTable("Table II — priority memory requests", paperdata.TableII, paperdata.TableIIDesigns, rows, "lat-pri")
+	return nil
+}
+
+func tableIII(o aanoc.TableOptions) error {
+	rows, err := aanoc.TableIII(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Table III — GSS+SAGM+STI vs GSS+SAGM (DDR3, tag-every-request)")
+	fmt.Println()
+	fmt.Println("| app | MHz | util imp. paper | util imp. ours | lat-all imp. paper | lat-all imp. ours | lat-pri imp. paper | lat-pri imp. ours |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	for i, p := range paperdata.TableIII {
+		base, sti := rows[2*i], rows[2*i+1]
+		fmt.Printf("| %s | %d | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% | %.1f%% |\n",
+			p.App, p.ClockMHz,
+			100*p.UtilImp, 100*(sti.Utilization/base.Utilization-1),
+			100*p.LatAllImp, 100*(1-sti.LatencyAll/base.LatencyAll),
+			100*p.LatPriImp, 100*(1-sti.LatencyPriority/base.LatencyPriority))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig8(o aanoc.TableOptions) error {
+	fmt.Println("## Fig. 8 — performance vs. number of GSS routers")
+	fmt.Println()
+	for _, p := range paperdata.Fig8 {
+		pts, err := aanoc.Fig8(p.App, p.Gen, p.ClockMHz, o)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("### %s, DDR%d @ %d MHz\n\n", p.App, p.Gen, p.ClockMHz)
+		fmt.Println("| k | util ours | lat-all ours | lat-pri ours |")
+		fmt.Println("|---|---|---|---|")
+		for _, pt := range pts {
+			fmt.Printf("| %d | %.3f | %.0f | %.0f |\n", pt.GSSRouters, pt.Utilization, pt.LatencyAll, pt.LatencyPriority)
+		}
+		k0, k3, kN := pts[0], pts[3], pts[len(pts)-1]
+		fmt.Printf("\nPaper endpoints: util %.2f->%.2f (k=0->3); ours %.3f->%.3f. ",
+			p.Util0, p.Util3, k0.Utilization, k3.Utilization)
+		fmt.Printf("Gain captured by three routers: paper %.0f%%, ours %.0f%%.\n\n",
+			100*(p.Util3-p.Util0)/p.Util0,
+			100*(k3.Utilization-k0.Utilization)/k0.Utilization)
+		_ = kN
+	}
+	return nil
+}
+
+func tableIV() {
+	fmt.Println("## Table IV — gate counts at 400 MHz (analytic model)")
+	fmt.Println()
+	fmt.Println("| design | module | paper | ours | error |")
+	fmt.Println("|---|---|---|---|---|")
+	ours := aanoc.TableIV()
+	for i, p := range paperdata.Table4 {
+		r := ours[i]
+		row := func(name string, pv, ov int64) {
+			fmt.Printf("| %s | %s | %d | %d | %+.1f%% |\n", p.Design, name, pv, ov, 100*(float64(ov)/float64(pv)-1))
+		}
+		row("flow controller", p.FlowController, r.FlowController)
+		row("router", p.Router, r.Router)
+		row("memory subsystem", p.MemorySubsystem, r.MemorySubsystem)
+		row("3x3 NoC", p.NoC3x3, r.NoC3x3)
+	}
+	fmt.Println()
+}
+
+func tableV(o aanoc.TableOptions) error {
+	rows, err := aanoc.TableV(o)
+	if err != nil {
+		return err
+	}
+	fmt.Println("## Table V — average power (activity-based model)")
+	fmt.Println()
+	fmt.Println("| app | MHz | design | paper (mW) | ours (mW) | paper ratio | ours ratio |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for i, p := range paperdata.Table5 {
+		r := rows[i]
+		group := i / 3 * 3
+		fmt.Printf("| %s | %d | %s | %.1f | %.1f | %.3f | %.3f |\n",
+			p.App, p.ClockMHz, p.Design, p.PowerMW, r.PowerMW,
+			p.PowerMW/paperdata.Table5[group+2].PowerMW, r.PowerMW/rows[group+2].PowerMW)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,84 @@
+// Command aanoc-sim runs one simulation configuration (or one design
+// across all applications) and prints the paper's metrics: memory
+// utilization, average memory latency of all packets, and average latency
+// of demand/priority packets.
+//
+// Examples:
+//
+//	aanoc-sim -app bluray -gen 2 -design GSS+SAGM -cycles 500000
+//	aanoc-sim -app ddtv -gen 3 -design CONV -priority
+//	aanoc-sim -all -gen 2 -priority          # all designs, one app
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+)
+
+func main() {
+	var (
+		appName  = flag.String("app", "bluray", "application model: bluray, sdtv or ddtv")
+		gen      = flag.Int("gen", 2, "DDR generation: 1, 2 or 3")
+		clock    = flag.Int("clock", 0, "memory clock in MHz (0: the app's clock for the generation)")
+		design   = flag.String("design", "GSS", "design: CONV, CONV+PFS, [4], [4]+PFS, GSS, GSS+SAGM, GSS+SAGM+STI")
+		cycles   = flag.Int64("cycles", 200_000, "simulated memory-clock cycles")
+		seed     = flag.Uint64("seed", 0, "RNG seed (0: default)")
+		pct      = flag.Int("pct", 3, "priority control token for GSS designs")
+		gssN     = flag.Int("gss-routers", 0, "GSS routers nearest memory (0: all, -1: none)")
+		priority = flag.Bool("priority", false, "serve CPU demand requests as priority packets (Table II mode)")
+		all      = flag.Bool("all", false, "run every design on the selected app/generation")
+		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
+	)
+	flag.Parse()
+
+	app, err := appmodel.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	base := system.Config{
+		App: app, Gen: dram.Generation(*gen), ClockMHz: *clock,
+		Cycles: *cycles, Seed: *seed, PCT: *pct,
+		GSSRouters: *gssN, PriorityDemand: *priority,
+	}
+	designs := []system.Design{}
+	if *all {
+		designs = system.Designs()
+	} else {
+		d, err := system.ParseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+		designs = append(designs, d)
+	}
+	fmt.Printf("%-14s %-8s %-5s %5s  %6s %8s %8s %8s %8s %7s\n",
+		"design", "app", "gen", "MHz", "util", "lat-all", "lat-dem", "lat-pri", "done", "waste")
+	for _, d := range designs {
+		cfg := base
+		cfg.Design = d
+		res, err := system.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s %-8s %-5s %5d  %.3f %8.0f %8.0f %8.0f %8d %6.1f%%\n",
+			res.Design, res.App, res.Gen, res.ClockMHz,
+			res.Utilization, res.LatAll, res.LatDemand, res.LatPriority,
+			res.Completed, 100*res.WasteFrac)
+		if *perCore {
+			fmt.Printf("  fairness (Jain over served beats): %.3f\n", res.Fairness)
+			for _, c := range res.PerCore {
+				fmt.Printf("  %-12s served=%6d beats=%8d lat=%7.0f\n",
+					c.Name, c.Completed, c.Beats, c.MeanLatency())
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aanoc-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,104 @@
+// Command aanoc-tables regenerates the paper's Tables I, II and III:
+// memory utilization and per-class request latency for every design,
+// application and DDR generation.
+//
+//	aanoc-tables -table 1 -cycles 500000   # Table I (no priority requests)
+//	aanoc-tables -table 2                  # Table II (priority demand)
+//	aanoc-tables -table 3                  # Table III (STI on DDR3)
+//	aanoc-tables -table all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aanoc"
+)
+
+func main() {
+	var (
+		table  = flag.String("table", "all", "which table to print: 1, 2, 3 or all")
+		cycles = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
+		seed   = flag.Uint64("seed", 0, "RNG seed")
+	)
+	flag.Parse()
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed}
+
+	type driver struct {
+		name string
+		note string
+		run  func(aanoc.TableOptions) ([]aanoc.Row, error)
+	}
+	drivers := map[string]driver{
+		"1": {"Table I", "no priority memory requests (best-effort demand)", aanoc.TableI},
+		"2": {"Table II", "demand requests served as priority packets", aanoc.TableII},
+		"3": {"Table III", "GSS+SAGM+STI vs GSS+SAGM on DDR III", aanoc.TableIII},
+	}
+	order := []string{"1", "2", "3"}
+	if *table != "all" {
+		if _, ok := drivers[*table]; !ok {
+			fmt.Fprintf(os.Stderr, "aanoc-tables: unknown table %q\n", *table)
+			os.Exit(1)
+		}
+		order = []string{*table}
+	}
+	for _, k := range order {
+		d := drivers[k]
+		fmt.Printf("=== %s — %s (%d cycles/run) ===\n", d.name, d.note, *cycles)
+		rows, err := d.run(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
+			os.Exit(1)
+		}
+		fmt.Print(aanoc.FormatRows(rows))
+		printRatios(rows)
+		fmt.Println()
+	}
+}
+
+// printRatios prints, per design, the averages and the ratio against the
+// [4] (or first) design — the paper's summary rows.
+func printRatios(rows []aanoc.Row) {
+	type acc struct {
+		util, useful, lat, dem, pri float64
+		n                           int
+	}
+	byDesign := map[aanoc.Design]*acc{}
+	var order []aanoc.Design
+	for _, r := range rows {
+		a := byDesign[r.Design]
+		if a == nil {
+			a = &acc{}
+			byDesign[r.Design] = a
+			order = append(order, r.Design)
+		}
+		a.util += r.Utilization
+		a.useful += r.UsefulUtilization
+		a.lat += r.LatencyAll
+		a.dem += r.LatencyDemand
+		a.pri += r.LatencyPriority
+		a.n++
+	}
+	base := byDesign[order[0]]
+	for _, d := range order {
+		if d == aanoc.SDRAMAware || d == aanoc.SDRAMAwarePFS {
+			base = byDesign[d]
+		}
+	}
+	fmt.Printf("-- averages (ratio vs %s-style baseline where applicable)\n", "[4]")
+	for _, d := range order {
+		a := byDesign[d]
+		n := float64(a.n)
+		fmt.Printf("   %-14s util=%.3f (%.3f) useful=%.3f lat-all=%.0f (%.3f) lat-dem=%.0f (%.3f)\n",
+			d, a.util/n, ratio(a.util, base.util), a.useful/n,
+			a.lat/n, ratio(a.lat, base.lat), a.dem/n, ratio(a.dem, base.dem))
+	}
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

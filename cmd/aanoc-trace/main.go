@@ -1,0 +1,111 @@
+// Command aanoc-trace captures a memory-request trace from one
+// simulation and replays it through other designs — controlled
+// comparisons on identical workloads, and the entry point for users who
+// want to evaluate the designs on their own traces (JSON lines; see
+// internal/trace for the schema).
+//
+//	aanoc-trace -record t.jsonl -app bluray -gen 2 -design '[4]'
+//	aanoc-trace -replay t.jsonl -app bluray -gen 2 -design GSS+SAGM
+//	aanoc-trace -replay t.jsonl -app bluray -gen 2 -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+	"aanoc/internal/trace"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "capture a trace to this file")
+		replay   = flag.String("replay", "", "replay a trace from this file")
+		appName  = flag.String("app", "bluray", "application model")
+		gen      = flag.Int("gen", 2, "DDR generation")
+		design   = flag.String("design", "GSS", "design under test")
+		all      = flag.Bool("all", false, "replay through every design")
+		cycles   = flag.Int64("cycles", 100_000, "simulated cycles")
+		seed     = flag.Uint64("seed", 0, "RNG seed")
+		priority = flag.Bool("priority", true, "serve demand requests as priority packets")
+	)
+	flag.Parse()
+	if (*record == "") == (*replay == "") {
+		fatal(fmt.Errorf("exactly one of -record or -replay is required"))
+	}
+	app, err := appmodel.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	base := system.Config{
+		App: app, Gen: dram.Generation(*gen),
+		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
+	}
+
+	if *record != "" {
+		d, err := system.ParseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := trace.NewWriter(f)
+		cfg := base
+		cfg.Design = d
+		cfg.Trace = w
+		res, err := system.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d requests from %s on %s/%s (util %.3f) to %s\n",
+			w.Count(), d, res.App, res.Gen, res.Utilization, *record)
+		return
+	}
+
+	f, err := os.Open(*replay)
+	if err != nil {
+		fatal(err)
+	}
+	records, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replaying %d recorded requests\n", len(records))
+	designs := []system.Design{}
+	if *all {
+		designs = system.Designs()
+	} else {
+		d, err := system.ParseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+		designs = append(designs, d)
+	}
+	fmt.Printf("%-14s %8s %10s %10s %10s\n", "design", "util", "lat-all", "lat-pri", "completed")
+	for _, d := range designs {
+		cfg := base
+		cfg.Design = d
+		cfg.Replay = records
+		res, err := system.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-14s %8.3f %10.0f %10.0f %10d\n",
+			d, res.Utilization, res.LatAll, res.LatPriority, res.Completed)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aanoc-trace:", err)
+	os.Exit(1)
+}

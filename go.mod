@@ -1,0 +1,3 @@
+module aanoc
+
+go 1.22

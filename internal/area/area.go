@@ -1,0 +1,216 @@
+// Package area provides the analytic gate-count and power models that
+// stand in for the paper's Synopsys Design Vision / PrimeTime PX flow
+// (Tables IV and V). The models are compositional — per-flit buffer bits,
+// per-port arbiter logic, token/counter logic, thread-buffer SRAM — with
+// constants calibrated once against the paper's published module totals
+// at the 45 nm OSU PDK operating point (400 MHz). Relative comparisons
+// between designs then follow from structure, which is what the paper's
+// tables argue about: the GSS flow controller is slightly larger than a
+// conventional one but the buffer-free memory subsystem dominates.
+package area
+
+import "fmt"
+
+// FlitBits is the datapath width of one flit (two 32-bit beats).
+const FlitBits = 64
+
+// Calibrated gate-cost constants (gates, or gates per bit). See the
+// package comment: these are fitted to Table IV's CONV column and the
+// structural deltas then produce the other columns.
+const (
+	gatesPerBufferBit = 7.58  // input-buffer storage incl. pointers
+	crossbarPerBitSq  = 1.58  // crossbar cost coefficient (x ports^2 x bits / 25)
+	routingLogic      = 800   // XY route computation per router
+	convFCGates       = 3310  // round-robin flow controller (paper value)
+	tokenLogicGates   = 1200  // 8-entry token table + comparators
+	condLogicGates    = 900   // bank/row/kind condition comparators
+	stiCounterGates   = 720   // per-bank idle counters (Fig. 4(b))
+	ref4Overhead      = 1.097 // [4]'s controller is 9.7% larger (not event-driven)
+	niGates           = 13035 // network interface (packetisation, reassembly)
+
+	gatesPerSRAMBit = 26.0 // thread request/data buffer storage (MemMax)
+	memSchedGates   = 20000
+	memCtrlGates    = 18000
+	reqEntryBits    = 72 // request buffer entry: address + control
+)
+
+// FlowController enumerates the flow-control hardware variants of
+// Table IV.
+type FlowController int
+
+const (
+	// FCConv is the conventional round-robin controller.
+	FCConv FlowController = iota
+	// FCRef4 is the SDRAM-aware controller of [4].
+	FCRef4
+	// FCGSS is the paper's GSS controller (token hybrid, Fig. 4(a)).
+	FCGSS
+	// FCGSSSTI adds the short turn-around interleaving counters
+	// (Fig. 4(b)).
+	FCGSSSTI
+)
+
+// FlowControllerGates returns the gate count of one flow controller.
+func FlowControllerGates(k FlowController) int64 {
+	switch k {
+	case FCConv:
+		return convFCGates
+	case FCRef4:
+		base := float64(convFCGates + tokenLogicGates + condLogicGates + stiCounterGates)
+		return int64(base * ref4Overhead)
+	case FCGSS:
+		return convFCGates + tokenLogicGates + condLogicGates
+	case FCGSSSTI:
+		return convFCGates + tokenLogicGates + condLogicGates + stiCounterGates
+	default:
+		panic(fmt.Sprintf("area: unknown flow controller %d", k))
+	}
+}
+
+// RouterGates returns the gate count of a router with the given port
+// count and flow-control configuration. SDRAM-aware routers carry the
+// special controller only on their (two) memory-path output channels; the
+// remaining channels keep conventional controllers, as the paper's
+// Table IV assumes.
+func RouterGates(ports, bufFlits int, fc FlowController) int64 {
+	buffers := int64(float64(ports*bufFlits*FlitBits) * gatesPerBufferBit)
+	xbar := int64(crossbarPerBitSq * float64(ports*ports*FlitBits) / 25.0 * 5)
+	g := buffers + xbar + routingLogic
+	special := 0
+	if fc != FCConv {
+		special = 2
+		if special > ports {
+			special = ports
+		}
+	}
+	g += int64(special) * FlowControllerGates(fc)
+	g += int64(ports-special) * FlowControllerGates(FCConv)
+	return g
+}
+
+// MemSubsystem enumerates the memory subsystem variants.
+type MemSubsystem int
+
+const (
+	// MemMax is the conventional subsystem: 4 threads x (32-entry request
+	// buffer + 32-flit data buffer) plus scheduler and controller.
+	MemMax MemSubsystem = iota
+	// MemSimple is the paper's [4]-style subsystem: input FIFO,
+	// PRE/RAS/CAS buffers, output buffer, no reordering.
+	MemSimple
+	// MemSimpleAP is the SAGM subsystem: auto-precharge replaces most of
+	// the PRE buffer entries.
+	MemSimpleAP
+)
+
+// MemSubsystemGates returns the subsystem's gate count.
+func MemSubsystemGates(k MemSubsystem) int64 {
+	switch k {
+	case MemMax:
+		bufBits := 4 * 32 * (reqEntryBits + FlitBits)
+		return int64(float64(bufBits)*gatesPerSRAMBit) + memSchedGates + memCtrlGates
+	case MemSimple:
+		inFIFO := 26 * reqEntryBits
+		stage := (8 + 6 + 6) * reqEntryBits // PRE + RAS + CAS buffers
+		outBuf := 32 * FlitBits
+		return int64(float64(inFIFO+stage+outBuf)*gatesPerSRAMBit) + memCtrlGates
+	case MemSimpleAP:
+		inFIFO := 26 * reqEntryBits
+		stage := (2 + 6 + 6) * reqEntryBits // AP shrinks the PRE buffer
+		outBuf := 32 * FlitBits
+		apLogic := 2200
+		return int64(float64(inFIFO+stage+outBuf)*gatesPerSRAMBit) + memCtrlGates + int64(apLogic)
+	default:
+		panic(fmt.Sprintf("area: unknown memory subsystem %d", k))
+	}
+}
+
+// portsAt returns the port count of a mesh router at (x,y): one local
+// port plus one per neighbour.
+func portsAt(x, y, w, h int) int {
+	p := 1
+	if x > 0 {
+		p++
+	}
+	if x < w-1 {
+		p++
+	}
+	if y > 0 {
+		p++
+	}
+	if y < h-1 {
+		p++
+	}
+	return p
+}
+
+// NoCGates composes a whole design: all mesh routers (edge routers have
+// fewer ports), one network interface per node, and the memory subsystem.
+// gssRouters is the number of routers (nearest the memory) carrying the
+// special flow controllers; the rest stay conventional.
+func NoCGates(w, h, bufFlits int, fc FlowController, mem MemSubsystem, gssRouters int) int64 {
+	var total int64
+	n := 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			kind := FCConv
+			if fc != FCConv && n < gssRouters {
+				kind = fc
+			}
+			total += RouterGates(portsAt(x, y, w, h), bufFlits, kind)
+			n++
+		}
+	}
+	total += int64(w*h) * niGates
+	total += MemSubsystemGates(mem)
+	return total
+}
+
+// Table4Row is one design's line of Table IV.
+type Table4Row struct {
+	Design          string
+	FlowController  int64
+	Router          int64
+	MemorySubsystem int64
+	NoC3x3          int64
+}
+
+// Table4 reproduces the paper's gate-count comparison at the 400 MHz
+// operating point: CONV, [4], and GSS+SAGM+STI. Three routers nearest the
+// memory carry the special flow controllers, as in the paper.
+func Table4() []Table4Row {
+	const bufFlits = 16
+	rows := []struct {
+		name string
+		fc   FlowController
+		mem  MemSubsystem
+	}{
+		{"CONV", FCConv, MemMax},
+		{"[4]", FCRef4, MemSimple},
+		{"GSS+SAGM+STI", FCGSSSTI, MemSimpleAP},
+	}
+	out := make([]Table4Row, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Table4Row{
+			Design:          r.name,
+			FlowController:  FlowControllerGates(r.fc),
+			Router:          RouterGates(5, bufFlits, r.fc),
+			MemorySubsystem: MemSubsystemGates(r.mem),
+			NoC3x3:          NoCGates(3, 3, bufFlits, r.fc, r.mem, 3),
+		})
+	}
+	return out
+}
+
+// Power estimates average power in milliwatts for a design running at
+// clockMHz with the observed memory utilization (the dominant activity
+// indicator): P = k * f * gates * (c0 + c1*util). The constants are
+// calibrated to the paper's Table V at the GSS+SAGM+STI points.
+func Power(gates int64, clockMHz int, utilization float64) float64 {
+	const (
+		k  = 8.9e-7 // mW per MHz per gate at full activity scale
+		c0 = 0.62   // clock tree + leakage share
+		c1 = 0.55   // datapath activity share
+	)
+	return k * float64(clockMHz) * float64(gates) * (c0 + c1*utilization)
+}

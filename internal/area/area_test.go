@@ -1,0 +1,119 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts got is within tol (fractional) of want.
+func within(t *testing.T, name string, got, want int64, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+		return
+	}
+	if d := math.Abs(float64(got-want)) / float64(want); d > tol {
+		t.Errorf("%s = %d, want %d (+-%.0f%%), off by %.1f%%", name, got, want, tol*100, d*100)
+	}
+}
+
+// TestCalibrationAgainstPaperTable4 pins the analytic model to the
+// paper's synthesis results: each module must stay within a few percent
+// of the published gate count. These are calibration contracts — if a
+// refactor moves a constant, this test shows which paper cell drifted.
+func TestCalibrationAgainstPaperTable4(t *testing.T) {
+	within(t, "conv flow controller", FlowControllerGates(FCConv), 3310, 0.001)
+	within(t, "[4] flow controller", FlowControllerGates(FCRef4), 6732, 0.15)
+	within(t, "GSS+STI flow controller", FlowControllerGates(FCGSSSTI), 6136, 0.02)
+
+	within(t, "conv router", RouterGates(5, 16, FCConv), 56683, 0.03)
+	within(t, "[4] router", RouterGates(5, 16, FCRef4), 62949, 0.03)
+	within(t, "GSS router", RouterGates(5, 16, FCGSSSTI), 62721, 0.03)
+
+	within(t, "conv memory subsystem", MemSubsystemGates(MemMax), 489898, 0.03)
+	within(t, "[4] memory subsystem", MemSubsystemGates(MemSimple), 158874, 0.10)
+	within(t, "SAGM memory subsystem", MemSubsystemGates(MemSimpleAP), 149245, 0.10)
+
+	within(t, "conv 3x3 NoC", NoCGates(3, 3, 16, FCConv, MemMax, 0), 966250, 0.03)
+	within(t, "[4] 3x3 NoC", NoCGates(3, 3, 16, FCRef4, MemSimple, 3), 661645, 0.03)
+	within(t, "GSS 3x3 NoC", NoCGates(3, 3, 16, FCGSSSTI, MemSimpleAP, 3), 639481, 0.03)
+}
+
+func TestPaperHeadlineRatios(t *testing.T) {
+	// The paper's headline area claims, as ratios.
+	gss := NoCGates(3, 3, 16, FCGSSSTI, MemSimpleAP, 3)
+	conv := NoCGates(3, 3, 16, FCConv, MemMax, 0)
+	ref4 := NoCGates(3, 3, 16, FCRef4, MemSimple, 3)
+	// "33.8% and 3.3% smaller than CONV and [4]".
+	if r := 1 - float64(gss)/float64(conv); r < 0.28 || r > 0.40 {
+		t.Errorf("GSS vs CONV area saving = %.1f%%, want ~33.8%%", r*100)
+	}
+	if r := 1 - float64(gss)/float64(ref4); r < 0.01 || r > 0.06 {
+		t.Errorf("GSS vs [4] area saving = %.1f%%, want ~3.3%%", r*100)
+	}
+	// "our memory subsystem is 69.5% and 6.1% smaller".
+	if r := 1 - float64(MemSubsystemGates(MemSimpleAP))/float64(MemSubsystemGates(MemMax)); r < 0.6 || r > 0.75 {
+		t.Errorf("memory subsystem saving vs CONV = %.1f%%, want ~69.5%%", r*100)
+	}
+	// "our flow controller is 8.9% smaller than [4]".
+	if r := 1 - float64(FlowControllerGates(FCGSSSTI))/float64(FlowControllerGates(FCRef4)); r < 0.05 || r > 0.13 {
+		t.Errorf("flow controller saving vs [4] = %.1f%%, want ~8.9%%", r*100)
+	}
+	// "85.4% greater than a conventional flow controller".
+	if r := float64(FlowControllerGates(FCGSSSTI))/float64(FlowControllerGates(FCConv)) - 1; r < 0.7 || r > 1.0 {
+		t.Errorf("flow controller overhead vs CONV = %.1f%%, want ~85.4%%", r*100)
+	}
+}
+
+func TestRouterGatesMonotoneInPorts(t *testing.T) {
+	prev := int64(0)
+	for p := 3; p <= 5; p++ {
+		g := RouterGates(p, 16, FCConv)
+		if g <= prev {
+			t.Fatalf("router gates not monotone in ports: %d ports -> %d", p, g)
+		}
+		prev = g
+	}
+}
+
+func TestNoCGatesScalesWithMesh(t *testing.T) {
+	g33 := NoCGates(3, 3, 16, FCGSSSTI, MemSimpleAP, 3)
+	g44 := NoCGates(4, 4, 16, FCGSSSTI, MemSimpleAP, 3)
+	if g44 <= g33 {
+		t.Fatal("4x4 NoC must exceed 3x3")
+	}
+}
+
+func TestTable4Rows(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 3 {
+		t.Fatalf("Table4 rows = %d, want 3", len(rows))
+	}
+	if rows[0].Design != "CONV" || rows[2].Design != "GSS+SAGM+STI" {
+		t.Fatalf("unexpected design order: %+v", rows)
+	}
+	if rows[2].NoC3x3 >= rows[0].NoC3x3 {
+		t.Error("the proposed design must be smaller than CONV")
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	gss := NoCGates(3, 3, 16, FCGSSSTI, MemSimpleAP, 3)
+	conv := NoCGates(3, 3, 16, FCConv, MemMax, 0)
+	pG := Power(gss, 400, 0.7)
+	pC := Power(conv, 400, 0.7)
+	if pG <= 0 || pC <= pG {
+		t.Fatalf("power ordering wrong: conv=%.1f gss=%.1f", pC, pG)
+	}
+	// Paper Table V at 400 MHz: ours 226.8 mW, CONV 351.6 mW.
+	if pG < 150 || pG > 320 {
+		t.Errorf("GSS power at 400 MHz = %.1f mW, want paper-scale (~227)", pG)
+	}
+	if r := pC / pG; r < 1.25 || r > 1.7 {
+		t.Errorf("CONV/GSS power ratio = %.2f, want ~1.55", r)
+	}
+	// Power grows with clock and with activity.
+	if Power(gss, 800, 0.7) <= pG || Power(gss, 400, 0.9) <= pG {
+		t.Error("power must grow with clock and activity")
+	}
+}

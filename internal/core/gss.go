@@ -1,0 +1,354 @@
+// Package core implements the paper's primary contribution: the GSS
+// (guaranteed SDRAM service) flow-control algorithm (Algorithm 1 with the
+// Fig. 4 filter trees and short turn-around-interleaving bank counters)
+// and the SAGM (SDRAM access granularity matching) packet splitter.
+//
+// A GSS instance is one flow controller: it arbitrates one router output
+// channel on the path toward the memory subsystem. It tracks an aging
+// token count per resident memory request packet and, whenever the channel
+// frees, picks the next packet so that the stream arriving at the memory
+// subsystem avoids bank conflict, data contention and (optionally) short
+// turn-around bank interleaving while still bounding the waiting time of
+// priority packets through the priority control token (PCT).
+package core
+
+import (
+	"fmt"
+
+	"aanoc/internal/noc"
+)
+
+// STIParams configures the short turn-around bank interleaving extension
+// (Fig. 4(b)): per-bank countdown timers the flow controller arms when it
+// schedules a packet that will close its bank (AP tag), estimating when
+// the bank can be activated again.
+type STIParams struct {
+	Enabled bool
+	// WriteIdle estimates the cycles from the end of a write data burst
+	// until the bank is ready again (tWR + tRP in the paper).
+	WriteIdle int64
+	// ReadIdle estimates the cycles from the end of a read burst until
+	// the bank is ready again (tRP in the paper).
+	ReadIdle int64
+}
+
+// Config parameterises a GSS flow controller.
+type Config struct {
+	// PCT is the priority control token: the initial token count of a
+	// priority packet. 1 degenerates to the priority-equal scheduler of
+	// the SDRAM-aware router [4]; MaxTokens() degenerates to a
+	// priority-first scheduler; intermediate values are the paper's
+	// hybrid. Best-effort packets always start with one token.
+	PCT int
+	// Banks is the number of SDRAM banks (sizes the STI counters).
+	Banks int
+	// STI enables the Fig. 4(b) filter tree with bank idle counters.
+	STI STIParams
+}
+
+// MaxTokens returns the deepest filter tier for this configuration: 5 for
+// the Fig. 4(a) tree, 6 for the Fig. 4(b) tree, matching the paper's
+// "2 to 5 (or 6)" PCT range.
+func (c Config) MaxTokens() int {
+	if c.STI.Enabled {
+		return 6
+	}
+	return 5
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.PCT < 1 || c.PCT > c.MaxTokens() {
+		return fmt.Errorf("core: PCT %d outside [1,%d]", c.PCT, c.MaxTokens())
+	}
+	if c.Banks < 1 {
+		return fmt.Errorf("core: need at least one bank, got %d", c.Banks)
+	}
+	return nil
+}
+
+// entry is the per-resident-packet token state (t_i in Algorithm 1).
+type entry struct {
+	tokens    int
+	seq       int64 // arrival order, used as the FIFO tiebreak
+	arrivedAt int64
+}
+
+// GSS is one guaranteed-SDRAM-service flow controller. It implements
+// noc.Allocator.
+type GSS struct {
+	cfg     Config
+	nextSeq int64
+
+	entries map[*noc.Packet]*entry
+	last    *noc.Packet // copy of h(n), the most recently granted packet
+
+	lastArrivalParent int64
+
+	// bankIdleAt[b] is the absolute cycle bank b is estimated to accept a
+	// new activation; armed when a scheduled packet carries an AP tag.
+	bankIdleAt []int64
+
+	// Scheduled counts grants, used by the activity-based power model.
+	Scheduled int64
+}
+
+// New constructs a GSS flow controller.
+func New(cfg Config) (*GSS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &GSS{
+		cfg:        cfg,
+		entries:    make(map[*noc.Packet]*entry),
+		bankIdleAt: make([]int64, cfg.Banks),
+	}, nil
+}
+
+// MustNew is New but panics on invalid configuration.
+func MustNew(cfg Config) *GSS {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Config returns the controller's configuration.
+func (g *GSS) Config() Config { return g.cfg }
+
+// Tokens reports the current token count of a resident packet (0 if the
+// packet is unknown); exported for tests and introspection.
+func (g *GSS) Tokens(p *noc.Packet) int {
+	if e, ok := g.entries[p]; ok {
+		return e.tokens
+	}
+	return 0
+}
+
+// OnPacketArrival implements Algorithm 1 lines 1-13: resident packets age
+// by one token (starvation avoidance) and the new packet receives its
+// initial tokens — PCT for a priority packet, one for best-effort.
+// Packets arriving in the same cycle do not age each other (they are the
+// simultaneous arrivals of one arbitration round), and the consecutive
+// splits of one logical request age the others only once — a split chain
+// is one unit of waiting, or token inflation would push every resident
+// packet to the always-pass filter tier and disable SDRAM-aware ordering
+// precisely in the SAGM configurations.
+func (g *GSS) OnPacketArrival(p *noc.Packet, now int64) {
+	if p.ParentID != g.lastArrivalParent {
+		for _, e := range g.entries {
+			if e.arrivedAt < now {
+				e.tokens++
+			}
+		}
+	}
+	g.lastArrivalParent = p.ParentID
+	tok := 1
+	if p.Priority {
+		tok = g.cfg.PCT
+	}
+	g.nextSeq++
+	g.entries[p] = &entry{tokens: tok, seq: g.nextSeq, arrivedAt: now}
+}
+
+// conds are the Fig. 4 conditions of one candidate against h(n).
+type conds struct {
+	bankConflict   bool
+	dataContention bool
+	shortTurn      bool
+	sibling        bool // split sibling of h(n): the T(0) continuation
+}
+
+func (g *GSS) condsFor(p *noc.Packet, now int64) conds {
+	var c conds
+	if g.cfg.STI.Enabled && g.bankIdleAt[p.Addr.Bank%g.cfg.Banks] > now {
+		c.shortTurn = true
+	}
+	if g.last == nil {
+		return c
+	}
+	c.bankConflict = noc.BankConflict(g.last, p)
+	c.dataContention = noc.DataContention(g.last, p)
+	c.sibling = g.last.ParentID == p.ParentID && noc.RowHit(g.last, p) && !c.dataContention
+	return c
+}
+
+// passesFilter implements the Fig. 4 filter tiers for a packet holding t
+// tokens. Tiers relax monotonically (each admits a superset of the one
+// below) so the Algorithm 1 aging loop (lines 19-24) always terminates:
+// an old packet eventually reaches the always-pass tier.
+//
+// Fig. 4(a) (bank conflict + data contention):
+//
+//	T(1): no bank conflict and no data contention
+//	T(2): no bank conflict
+//	T(3): not both (at most one of conflict/contention)
+//	T(4+): always
+//
+// Fig. 4(b) (adds short turn-around interleaving):
+//
+//	T(1): no conflict, no contention, bank idle timer expired
+//	T(2): no conflict, bank idle timer expired
+//	T(3): no bank conflict
+//	T(4): not both
+//	T(5+): always
+func passesFilter(sti bool, t int, c conds) bool {
+	if !sti {
+		switch {
+		case t >= 4:
+			return true
+		case t == 3:
+			return !c.bankConflict || !c.dataContention
+		case t == 2:
+			return !c.bankConflict
+		default:
+			return !c.bankConflict && !c.dataContention
+		}
+	}
+	switch {
+	case t >= 5:
+		return true
+	case t == 4:
+		return !c.bankConflict || !c.dataContention
+	case t == 3:
+		return !c.bankConflict
+	case t == 2:
+		return !c.bankConflict && !c.shortTurn
+	default:
+		return !c.bankConflict && !c.dataContention && !c.shortTurn
+	}
+}
+
+// Select implements the arbitration of Algorithm 1 lines 14-25 plus the
+// priority-packet exclusion of line 5. Candidates are the head packets of
+// the router's input buffers requesting this channel.
+//
+// Two interpretation decisions, recorded in DESIGN.md:
+//
+//   - Exclusion is evaluated among the competing candidates rather than
+//     all residents: excluding a best-effort head on behalf of a priority
+//     packet still buried behind it in the same FIFO would idle the
+//     channel without helping the priority packet, and can deadlock.
+//
+//   - Selection is token-primary: among candidates passing their filter
+//     tier, the one with the most tokens wins (priority beats best-effort
+//     on a tie, then earlier arrival). This realises the paper's claimed
+//     degenerate cases exactly — PCT=1 gives priority packets no edge
+//     (priority-equal, the [4] scheduler) and PCT=max always wins
+//     (priority-first). The T(0) split-sibling continuation overrides a
+//     best-effort winner but never a priority winner ("a priority packet
+//     is always scheduled without any interference").
+func (g *GSS) Select(cands []noc.Candidate, now int64) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	// Robustness: adopt candidates the allocator was not told about
+	// (e.g. after reconfiguration).
+	for _, c := range cands {
+		if _, ok := g.entries[c.Pkt]; !ok {
+			g.OnPacketArrival(c.Pkt, now)
+		}
+	}
+	// Line 5: exclude best-effort candidates targeting the same bank as a
+	// competing priority candidate.
+	excluded := make([]bool, len(cands))
+	anyIncluded := false
+	for i, c := range cands {
+		if !c.Pkt.Priority {
+			for _, pc := range cands {
+				if pc.Pkt.Priority && pc.Pkt.Addr.Bank == c.Pkt.Addr.Bank {
+					excluded[i] = true
+					break
+				}
+			}
+		}
+		if !excluded[i] {
+			anyIncluded = true
+		}
+	}
+	if !anyIncluded {
+		return -1 // cannot happen: priority candidates are never excluded
+	}
+	maxTok := g.cfg.MaxTokens()
+	for extra := 0; ; extra++ {
+		best, bestT0 := -1, -1
+		for i, c := range cands {
+			if excluded[i] {
+				continue
+			}
+			e := g.entries[c.Pkt]
+			t := e.tokens + extra
+			if t > maxTok {
+				t = maxTok
+			}
+			cc := g.condsFor(c.Pkt, now)
+			if passesFilter(g.cfg.STI.Enabled, t, cc) {
+				best = g.betterOf(cands, best, i)
+			}
+			if cc.sibling && (bestT0 < 0 || g.entries[c.Pkt].seq < g.entries[cands[bestT0].Pkt].seq) {
+				bestT0 = i
+			}
+		}
+		if best >= 0 {
+			if bestT0 >= 0 && !cands[best].Pkt.Priority {
+				return bestT0
+			}
+			return best
+		}
+		if extra > maxTok {
+			return -1 // unreachable: the deepest tier always passes
+		}
+	}
+}
+
+// betterOf ranks two passing candidates: more tokens first, then priority,
+// then earlier arrival. Raw token counts order identically to the
+// extra-aged counts because the aging increment is common to both.
+func (g *GSS) betterOf(cands []noc.Candidate, cur, alt int) int {
+	if cur < 0 {
+		return alt
+	}
+	ce, ae := g.entries[cands[cur].Pkt], g.entries[cands[alt].Pkt]
+	if ae.tokens > ce.tokens {
+		return alt
+	}
+	if ae.tokens < ce.tokens {
+		return cur
+	}
+	cp, ap := cands[cur].Pkt.Priority, cands[alt].Pkt.Priority
+	if ap != cp {
+		if ap {
+			return alt
+		}
+		return cur
+	}
+	if ae.seq < ce.seq {
+		return alt
+	}
+	return cur
+}
+
+// OnScheduled records the grant: the packet becomes h(n), leaves the token
+// table, and — when it carries an AP tag under STI — arms the bank idle
+// counter with the router-side estimate of when the auto-precharged bank
+// can be activated again (data transfer time plus tWR+tRP for writes, tRP
+// for reads).
+func (g *GSS) OnScheduled(p *noc.Packet, now int64) {
+	g.Scheduled++
+	delete(g.entries, p)
+	cp := *p
+	g.last = &cp
+	if g.cfg.STI.Enabled && p.APTag {
+		transfer := int64(noc.FlitsForBeats(p.Beats))
+		idle := g.cfg.STI.ReadIdle
+		if p.Kind == noc.Write {
+			idle = g.cfg.STI.WriteIdle
+		}
+		at := now + transfer + idle
+		b := p.Addr.Bank % g.cfg.Banks
+		if at > g.bankIdleAt[b] {
+			g.bankIdleAt[b] = at
+		}
+	}
+}

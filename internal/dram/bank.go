@@ -1,0 +1,56 @@
+package dram
+
+import "fmt"
+
+// BankState enumerates the externally visible states of a bank.
+type BankState int
+
+const (
+	// BankIdle: all rows closed; an ACTIVATE may be issued once the
+	// precharge (or refresh) that produced this state has completed.
+	BankIdle BankState = iota
+	// BankActive: a row is open (possibly still within tRCD of the
+	// ACTIVATE); column commands become legal at actTime+tRCD.
+	BankActive
+	// BankPrecharging: a PRE (explicit or auto) has been accepted and the
+	// bank becomes idle-and-ready at readyAt.
+	BankPrecharging
+)
+
+// String returns a short name for the state.
+func (s BankState) String() string {
+	switch s {
+	case BankIdle:
+		return "idle"
+	case BankActive:
+		return "active"
+	case BankPrecharging:
+		return "precharging"
+	default:
+		return fmt.Sprintf("BankState(%d)", int(s))
+	}
+}
+
+// bank holds the per-bank timing state. All times are absolute cycles.
+type bank struct {
+	state   BankState
+	openRow int
+
+	actTime      int64 // cycle of the last ACTIVATE
+	readyAt      int64 // when precharging, cycle the bank becomes idle-and-ready
+	preAllowedAt int64 // earliest cycle a PRECHARGE may be issued
+	casAllowedAt int64 // earliest cycle a column command may be issued (tRCD)
+
+	// apPending marks that the last column command carried auto-precharge;
+	// the device converts it into a precharge at apStartAt.
+	apPending bool
+	apStartAt int64
+}
+
+// settle folds a completed precharge into the idle state so that state
+// queries observe BankIdle once readyAt has passed.
+func (b *bank) settle(now int64) {
+	if b.state == BankPrecharging && now >= b.readyAt {
+		b.state = BankIdle
+	}
+}

@@ -1,0 +1,365 @@
+package dram
+
+import "fmt"
+
+// Stats accumulates device activity counters used for the utilization
+// metric (Table I/II) and the activity-based power model (Table V).
+type Stats struct {
+	Activates   int64
+	Reads       int64
+	Writes      int64
+	Precharges  int64 // explicit PRE commands
+	AutoPre     int64 // precharges triggered by AP tags
+	Refreshes   int64
+	DataCycles  int64 // clock cycles the data bus carried burst data
+	BurstsBL    int64 // total burst beats transferred (for waste accounting)
+	UsefulBeats int64 // beats the requester actually asked for (set by controllers)
+}
+
+// Device is a cycle-level DDR SDRAM device. It is driven by absolute
+// cycle numbers: callers ask CanIssue(cmd, now) and then Issue(cmd, now).
+// Time must be non-decreasing across calls. At most one command may be
+// issued per cycle (single command bus).
+//
+// The zero value is not usable; construct with NewDevice.
+type Device struct {
+	t     Timing
+	banks []bank
+
+	now          int64
+	lastCmdCycle int64
+	lastWindow   DataWindow
+	lastCAS      int64
+	lastActAny   int64
+	actTimes     [4]int64 // rolling window of the last four ACTs (tFAW)
+	readDataEnd  int64    // end cycle of the most recent read burst
+	writeDataEnd int64    // end cycle of the most recent write burst
+	busBusyUntil int64
+
+	stats Stats
+
+	// Observer, when set, is invoked for every accepted command with its
+	// data window (zero for non-column commands) — the hook behind the
+	// timing-diagram renderer and command-trace tests.
+	Observer func(now int64, cmd Command, w DataWindow)
+}
+
+// NewDevice constructs a device with all banks idle at cycle 0.
+func NewDevice(t Timing) (*Device, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		t:            t,
+		banks:        make([]bank, t.Banks),
+		lastCmdCycle: -1,
+		lastCAS:      -(1 << 30),
+		lastActAny:   -(1 << 30),
+	}
+	for i := range d.banks {
+		d.banks[i].actTime = -(1 << 30)
+	}
+	for i := range d.actTimes {
+		d.actTimes[i] = -(1 << 30)
+	}
+	return d, nil
+}
+
+// MustNewDevice is NewDevice but panics on invalid timing; for tests and
+// known-good configuration tables.
+func MustNewDevice(t Timing) *Device {
+	d, err := NewDevice(t)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Timing returns the device's timing parameter set.
+func (d *Device) Timing() Timing { return d.t }
+
+// Stats returns a snapshot of the activity counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// AddUsefulBeats lets a controller record how many of the transferred
+// burst beats carried data the requester actually asked for; the
+// difference against BurstsBL is the granularity-mismatch waste (Fig. 2).
+func (d *Device) AddUsefulBeats(n int64) { d.stats.UsefulBeats += n }
+
+// Utilization returns data-bus busy cycles divided by total cycles, the
+// paper's memory utilization metric.
+func (d *Device) Utilization(totalCycles int64) float64 {
+	if totalCycles <= 0 {
+		return 0
+	}
+	return float64(d.stats.DataCycles) / float64(totalCycles)
+}
+
+// advance retires auto-precharges whose start time has been reached and
+// settles completed precharges, bringing the device state up to now.
+func (d *Device) advance(now int64) {
+	if now < d.now {
+		panic(fmt.Sprintf("dram: time went backwards (%d < %d)", now, d.now))
+	}
+	d.now = now
+	for i := range d.banks {
+		b := &d.banks[i]
+		if b.apPending && now >= b.apStartAt {
+			b.apPending = false
+			b.state = BankPrecharging
+			b.readyAt = b.apStartAt + d.t.TRP
+			d.stats.AutoPre++
+		}
+		b.settle(now)
+	}
+}
+
+// Sync brings the device state up to cycle now, retiring any pending
+// auto-precharges whose start time has been reached. Controllers call it
+// once per cycle so device-internal events fire even on idle cycles.
+func (d *Device) Sync(now int64) { d.advance(now) }
+
+// OpenRow reports the open row of a bank, if any, at cycle now. A bank
+// with a pending auto-precharge whose start time has passed reports
+// closed.
+func (d *Device) OpenRow(bankIdx int, now int64) (row int, open bool) {
+	d.advance(now)
+	b := &d.banks[bankIdx]
+	if b.state == BankActive {
+		return b.openRow, true
+	}
+	return 0, false
+}
+
+// BankState reports the externally visible state of a bank at cycle now.
+func (d *Device) BankState(bankIdx int, now int64) BankState {
+	d.advance(now)
+	return d.banks[bankIdx].state
+}
+
+// BankReadyAt returns the earliest cycle an ACTIVATE could be accepted by
+// the bank, considering only same-bank constraints (precharge completion
+// and tRC). Used by look-ahead controllers and by the short turn-around
+// interleaving (STI) estimate.
+func (d *Device) BankReadyAt(bankIdx int, now int64) int64 {
+	d.advance(now)
+	b := &d.banks[bankIdx]
+	ready := b.actTime + d.t.TRC
+	switch b.state {
+	case BankActive:
+		// Would need a precharge first: earliest PRE then tRP.
+		pre := b.preAllowedAt
+		if b.apPending {
+			pre = b.apStartAt
+		}
+		if pre < now {
+			pre = now
+		}
+		if pre+d.t.TRP > ready {
+			ready = pre + d.t.TRP
+		}
+	case BankPrecharging:
+		if b.readyAt > ready {
+			ready = b.readyAt
+		}
+	case BankIdle:
+		if b.readyAt > ready {
+			ready = b.readyAt
+		}
+	}
+	if ready < now {
+		ready = now
+	}
+	return ready
+}
+
+// checkBL validates the burst length of a column command against the
+// device mode.
+func (d *Device) checkBL(bl int) error {
+	if d.t.OTF {
+		if bl != 4 && bl != 8 {
+			return fmt.Errorf("dram: OTF device accepts BL 4 or 8, got %d", bl)
+		}
+		return nil
+	}
+	if bl != d.t.DeviceBL {
+		return fmt.Errorf("dram: device is in BL%d mode, got BL%d", d.t.DeviceBL, bl)
+	}
+	return nil
+}
+
+// refuse is a sentinel-style helper building legality errors.
+func refuse(format string, args ...any) error { return fmt.Errorf("dram: "+format, args...) }
+
+// checkIssue reports why cmd cannot be issued at now, or nil if it can.
+// It does not mutate timing state beyond advancing auto-precharges.
+func (d *Device) checkIssue(cmd Command, now int64) error {
+	d.advance(now)
+	if now == d.lastCmdCycle {
+		return refuse("command bus busy at cycle %d", now)
+	}
+	if cmd.Bank < 0 || (cmd.Kind != CmdRefresh && cmd.Bank >= d.t.Banks) {
+		return refuse("bank %d out of range", cmd.Bank)
+	}
+	switch cmd.Kind {
+	case CmdActivate:
+		b := &d.banks[cmd.Bank]
+		if b.state != BankIdle {
+			return refuse("ACT to %s bank %d", b.state, cmd.Bank)
+		}
+		if now < b.readyAt {
+			return refuse("ACT before precharge/refresh completion of bank %d (ready at %d)", cmd.Bank, b.readyAt)
+		}
+		if now < b.actTime+d.t.TRC {
+			return refuse("ACT violates tRC on bank %d", cmd.Bank)
+		}
+		if now < d.lastActAny+d.t.TRRD {
+			return refuse("ACT violates tRRD")
+		}
+		if d.t.TFAW > 0 && now < d.actTimes[0]+d.t.TFAW {
+			return refuse("ACT violates tFAW (four-activate window)")
+		}
+	case CmdRead, CmdWrite:
+		if err := d.checkBL(cmd.BL); err != nil {
+			return err
+		}
+		b := &d.banks[cmd.Bank]
+		if b.state != BankActive {
+			return refuse("%s to %s bank %d", cmd.Kind, b.state, cmd.Bank)
+		}
+		if b.apPending {
+			return refuse("%s to bank %d with pending auto-precharge", cmd.Kind, cmd.Bank)
+		}
+		if now < b.casAllowedAt {
+			return refuse("%s violates tRCD on bank %d", cmd.Kind, cmd.Bank)
+		}
+		if now < d.lastCAS+d.t.TCCD {
+			return refuse("%s violates tCCD", cmd.Kind)
+		}
+		if cmd.Kind == CmdRead {
+			if now < d.writeDataEnd+d.t.TWTR {
+				return refuse("RD violates tWTR")
+			}
+			if now+d.t.CL < d.busBusyUntil {
+				return refuse("RD data would collide on the bus")
+			}
+		} else {
+			start := now + d.t.CWL
+			if start < d.busBusyUntil {
+				return refuse("WR data would collide on the bus")
+			}
+			if start < d.readDataEnd+d.t.TRTW {
+				return refuse("WR violates read-to-write turnaround")
+			}
+		}
+	case CmdPrecharge:
+		b := &d.banks[cmd.Bank]
+		if b.state != BankActive {
+			return refuse("PRE to %s bank %d", b.state, cmd.Bank)
+		}
+		if b.apPending {
+			return refuse("PRE to bank %d with pending auto-precharge", cmd.Bank)
+		}
+		if now < b.preAllowedAt {
+			return refuse("PRE violates tRAS/tWR/tRTP on bank %d (allowed at %d)", cmd.Bank, b.preAllowedAt)
+		}
+	case CmdRefresh:
+		for i := range d.banks {
+			b := &d.banks[i]
+			if b.state != BankIdle || now < b.readyAt {
+				return refuse("REF with bank %d not idle", i)
+			}
+			if b.apPending {
+				return refuse("REF with pending auto-precharge on bank %d", i)
+			}
+		}
+	default:
+		return refuse("unknown command kind %d", cmd.Kind)
+	}
+	return nil
+}
+
+// CanIssue reports whether cmd is legal at cycle now.
+func (d *Device) CanIssue(cmd Command, now int64) bool {
+	return d.checkIssue(cmd, now) == nil
+}
+
+// Issue presents cmd on the command bus at cycle now. For column commands
+// the returned DataWindow describes the data-bus occupancy; read data is
+// available to the controller at window.End. Issue returns an error (and
+// changes no state) if the command violates any timing constraint — the
+// device doubles as a protocol checker for the whole stack's tests.
+func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
+	if err := d.checkIssue(cmd, now); err != nil {
+		return DataWindow{}, err
+	}
+	d.lastCmdCycle = now
+	defer func() {
+		if d.Observer != nil {
+			d.Observer(now, cmd, d.lastWindow)
+		}
+		d.lastWindow = DataWindow{}
+	}()
+	switch cmd.Kind {
+	case CmdActivate:
+		b := &d.banks[cmd.Bank]
+		b.state = BankActive
+		b.openRow = cmd.Row
+		b.actTime = now
+		b.casAllowedAt = now + d.t.TRCD
+		b.preAllowedAt = now + d.t.TRAS
+		d.lastActAny = now
+		copy(d.actTimes[:], d.actTimes[1:])
+		d.actTimes[3] = now
+		d.stats.Activates++
+	case CmdRead:
+		b := &d.banks[cmd.Bank]
+		w := DataWindow{Start: now + d.t.CL, End: now + d.t.CL + BurstCycles(cmd.BL)}
+		d.lastCAS = now
+		d.busBusyUntil = w.End
+		d.readDataEnd = w.End
+		d.stats.Reads++
+		d.stats.DataCycles += w.Cycles()
+		d.stats.BurstsBL += int64(cmd.BL)
+		d.lastWindow = w
+		pre := now + d.t.TRTP + BurstCycles(cmd.BL)
+		if pre > b.preAllowedAt {
+			b.preAllowedAt = pre
+		}
+		if cmd.AutoPrecharge {
+			b.apPending = true
+			b.apStartAt = b.preAllowedAt
+		}
+		return w, nil
+	case CmdWrite:
+		b := &d.banks[cmd.Bank]
+		w := DataWindow{Start: now + d.t.CWL, End: now + d.t.CWL + BurstCycles(cmd.BL)}
+		d.lastCAS = now
+		d.busBusyUntil = w.End
+		d.writeDataEnd = w.End
+		d.stats.Writes++
+		d.stats.DataCycles += w.Cycles()
+		d.stats.BurstsBL += int64(cmd.BL)
+		d.lastWindow = w
+		pre := w.End + d.t.TWR
+		if pre > b.preAllowedAt {
+			b.preAllowedAt = pre
+		}
+		if cmd.AutoPrecharge {
+			b.apPending = true
+			b.apStartAt = b.preAllowedAt
+		}
+		return w, nil
+	case CmdPrecharge:
+		b := &d.banks[cmd.Bank]
+		b.state = BankPrecharging
+		b.readyAt = now + d.t.TRP
+		d.stats.Precharges++
+	case CmdRefresh:
+		for i := range d.banks {
+			d.banks[i].readyAt = now + d.t.TRFC
+		}
+		d.stats.Refreshes++
+	}
+	return DataWindow{}, nil
+}

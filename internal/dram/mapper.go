@@ -1,0 +1,78 @@
+package dram
+
+import "fmt"
+
+// Address is a decoded SDRAM location. Requests in the NoC carry decoded
+// addresses (the paper's packets carry BA/RA/CA on sideband wires).
+type Address struct {
+	Bank int
+	Row  int
+	Col  int
+}
+
+// String renders the address in the paper's (RA, BA, CA) notation.
+func (a Address) String() string { return fmt.Sprintf("b%d r%d c%d", a.Bank, a.Row, a.Col) }
+
+// Interleave selects how a linear byte address is decoded.
+type Interleave int
+
+const (
+	// InterleaveRowBankCol: row | bank | column — consecutive rows map to
+	// different banks, the common layout for streaming media buffers
+	// (encourages bank interleaving across frame rows).
+	InterleaveRowBankCol Interleave = iota
+	// InterleaveBankRowCol: bank | row | column — each bank holds a
+	// contiguous region (a core's buffer lives in one bank).
+	InterleaveBankRowCol
+)
+
+// Mapper decodes linear byte addresses into bank/row/column coordinates.
+type Mapper struct {
+	Scheme   Interleave
+	Banks    int
+	RowBytes int // bytes per row (page size)
+	Rows     int
+}
+
+// NewMapper builds a mapper; rowBytes must be a power of two.
+func NewMapper(scheme Interleave, banks, rows, rowBytes int) (*Mapper, error) {
+	if banks <= 0 || rows <= 0 || rowBytes <= 0 {
+		return nil, fmt.Errorf("dram: invalid mapper geometry banks=%d rows=%d rowBytes=%d", banks, rows, rowBytes)
+	}
+	if rowBytes&(rowBytes-1) != 0 {
+		return nil, fmt.Errorf("dram: rowBytes %d not a power of two", rowBytes)
+	}
+	return &Mapper{Scheme: scheme, Banks: banks, Rows: rows, RowBytes: rowBytes}, nil
+}
+
+// Decode maps a linear byte address to a bank/row/column coordinate.
+func (m *Mapper) Decode(addr int64) Address {
+	col := int(addr) & (m.RowBytes - 1)
+	page := addr / int64(m.RowBytes)
+	switch m.Scheme {
+	case InterleaveRowBankCol:
+		return Address{
+			Bank: int(page) % m.Banks,
+			Row:  int(page/int64(m.Banks)) % m.Rows,
+			Col:  col,
+		}
+	default: // InterleaveBankRowCol
+		return Address{
+			Bank: int(page/int64(m.Rows)) % m.Banks,
+			Row:  int(page) % m.Rows,
+			Col:  col,
+		}
+	}
+}
+
+// Encode is the inverse of Decode for addresses within range.
+func (m *Mapper) Encode(a Address) int64 {
+	var page int64
+	switch m.Scheme {
+	case InterleaveRowBankCol:
+		page = int64(a.Row)*int64(m.Banks) + int64(a.Bank)
+	default:
+		page = int64(a.Bank)*int64(m.Rows) + int64(a.Row)
+	}
+	return page*int64(m.RowBytes) + int64(a.Col)
+}

@@ -1,0 +1,87 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMapperValidation(t *testing.T) {
+	if _, err := NewMapper(InterleaveRowBankCol, 0, 1024, 1024); err == nil {
+		t.Error("want error for zero banks")
+	}
+	if _, err := NewMapper(InterleaveRowBankCol, 4, 1024, 1000); err == nil {
+		t.Error("want error for non-power-of-two rowBytes")
+	}
+	if _, err := NewMapper(InterleaveRowBankCol, 4, 1024, 1024); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}
+
+func TestDecodeRowBankCol(t *testing.T) {
+	m, err := NewMapper(InterleaveRowBankCol, 4, 1024, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive pages hit consecutive banks.
+	a0 := m.Decode(0)
+	a1 := m.Decode(1024)
+	a4 := m.Decode(4 * 1024)
+	if a0.Bank != 0 || a1.Bank != 1 {
+		t.Errorf("bank interleave broken: %v %v", a0, a1)
+	}
+	if a4.Bank != 0 || a4.Row != a0.Row+1 {
+		t.Errorf("row increment broken: %v vs %v", a4, a0)
+	}
+	if got := m.Decode(1030); got.Col != 6 {
+		t.Errorf("col = %d, want 6", got.Col)
+	}
+}
+
+func TestDecodeBankRowCol(t *testing.T) {
+	m, err := NewMapper(InterleaveBankRowCol, 4, 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First 8 pages stay in bank 0, next 8 in bank 1.
+	if a := m.Decode(7 * 1024); a.Bank != 0 || a.Row != 7 {
+		t.Errorf("Decode(7 pages) = %v, want bank 0 row 7", a)
+	}
+	if a := m.Decode(8 * 1024); a.Bank != 1 || a.Row != 0 {
+		t.Errorf("Decode(8 pages) = %v, want bank 1 row 0", a)
+	}
+}
+
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	for _, scheme := range []Interleave{InterleaveRowBankCol, InterleaveBankRowCol} {
+		m, err := NewMapper(scheme, 8, 4096, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(raw uint32) bool {
+			addr := int64(raw) % (int64(m.Banks) * int64(m.Rows) * int64(m.RowBytes))
+			return m.Encode(m.Decode(addr)) == addr
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("scheme %d: %v", scheme, err)
+		}
+	}
+}
+
+func TestPropertyDecodeInRange(t *testing.T) {
+	m, err := NewMapper(InterleaveRowBankCol, 8, 4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw int64) bool {
+		if raw < 0 {
+			raw = -raw
+		}
+		a := m.Decode(raw)
+		return a.Bank >= 0 && a.Bank < m.Banks &&
+			a.Row >= 0 && a.Row < m.Rows &&
+			a.Col >= 0 && a.Col < m.RowBytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package memctrl implements the two memory subsystems the paper
+// evaluates:
+//
+//   - Simple — the paper's lightweight SDRAM controller for SDRAM-aware
+//     and GSS NoCs: requests are served in arrival order (the network
+//     already scheduled them) through a small PRE/RAS/CAS buffer pipeline
+//     with a round-robin command scheduler, a partially-open-page policy
+//     driven by SAGM auto-precharge tags, and no reorder buffers.
+//
+//   - MemMax — the conventional subsystem (Sonics MemMax scheduler +
+//     Denali Databahn controller): per-thread request queues with QoS
+//     arbitration that reorders across threads to avoid bank conflict and
+//     data contention, feeding the same command pipeline (whose ability to
+//     prepare pages behind the active data transfer models Databahn's
+//     command look-ahead).
+//
+// Both sit between a noc.Sink (request arrivals) and a dram.Device, and
+// hand completions back through callbacks: read completions become
+// response packets on the response mesh, write completions are final at
+// the device.
+package memctrl
+
+import (
+	"fmt"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+// PagePolicy selects what happens to a row after a column access.
+type PagePolicy int
+
+const (
+	// OpenPage keeps rows open; conflicts cost an explicit PRE. Used by
+	// the CONV, [4] and GSS designs (device in BL8 mode).
+	OpenPage PagePolicy = iota
+	// PartialOpenPage is the paper's SAGM policy: column commands execute
+	// with auto-precharge exactly when the packet carries the AP tag (the
+	// last split of a logical request); untagged splits keep the row open
+	// for their siblings.
+	PartialOpenPage
+	// ClosedPage auto-precharges every access (ablation baseline).
+	ClosedPage
+)
+
+// String names the policy.
+func (p PagePolicy) String() string {
+	switch p {
+	case OpenPage:
+		return "open"
+	case PartialOpenPage:
+		return "partial-open"
+	case ClosedPage:
+		return "closed"
+	default:
+		return fmt.Sprintf("PagePolicy(%d)", int(p))
+	}
+}
+
+// Completion reports a finished request to the system: for reads, At is
+// the cycle the last data beat left the device (the response packet
+// departs then); for writes, the cycle the device absorbed the last beat.
+type Completion struct {
+	Pkt *noc.Packet
+	At  int64
+}
+
+// reqState tracks one request inside the command pipeline.
+type reqState struct {
+	pkt       *noc.Packet
+	beatsDone int   // device beats already covered by issued CAS commands
+	lastEnd   int64 // data-window end of the most recent CAS
+}
+
+// engine is the shared command pipeline: it turns an ordered stream of
+// admitted requests into legal PRE/RAS/CAS commands, one per cycle,
+// rotating service among the three command buffers as in the paper's
+// Fig. 6 controller. Younger requests may precharge/activate their banks
+// while an older request's data still flows — the overlap that implements
+// bank interleaving (and Databahn-style look-ahead for MemMax).
+type engine struct {
+	dev    *dram.Device
+	policy PagePolicy
+	depth  int // command-pipeline window (paper: few small buffers)
+	// ooo allows column commands to issue out of order within the window
+	// (Databahn-style look-ahead for MemMax); the paper's lightweight
+	// controller keeps strict arrival order.
+	ooo bool
+
+	inflight []*reqState
+	draining []*reqState // all CAS issued; awaiting data-window end
+	lastKind noc.Kind    // direction of the most recent column command
+
+	// refresh bookkeeping
+	refreshEvery int64
+	nextRefresh  int64
+	refreshing   bool
+
+	onDone func(Completion)
+
+	// CmdCycles counts cycles a command was driven (power model).
+	CmdCycles int64
+}
+
+func newEngine(dev *dram.Device, policy PagePolicy, depth int, onDone func(Completion)) *engine {
+	t := dev.Timing()
+	return &engine{
+		dev:          dev,
+		policy:       policy,
+		depth:        depth,
+		refreshEvery: t.TREFI,
+		nextRefresh:  t.TREFI,
+		onDone:       onDone,
+	}
+}
+
+// canAdmit reports whether the pipeline window has room.
+func (e *engine) canAdmit() bool { return len(e.inflight) < e.depth }
+
+// admit appends a request to the pipeline in service order.
+func (e *engine) admit(p *noc.Packet) {
+	if !e.canAdmit() {
+		panic("memctrl: admit past window depth")
+	}
+	e.inflight = append(e.inflight, &reqState{pkt: p})
+}
+
+// pendingFor reports how many inflight (not yet fully CAS'd) requests
+// target the given bank — used by admission policies.
+func (e *engine) pendingFor(bank int) int {
+	n := 0
+	for _, r := range e.inflight {
+		if r.pkt.Addr.Bank == bank {
+			n++
+		}
+	}
+	return n
+}
+
+// blFor picks the burst length of the next CAS for a request: the device
+// mode register BL, or the on-the-fly chop for DDR3 when at most four
+// beats remain.
+func blFor(t dram.Timing, remaining int) int {
+	if t.OTF && remaining <= 4 {
+		return 4
+	}
+	return t.DeviceBL
+}
+
+// useAP decides whether a CAS executes with auto-precharge: the last CAS
+// of the request under the closed-page policy, or of a tagged packet under
+// the partially-open-page policy.
+func (e *engine) useAP(r *reqState, lastCAS bool) bool {
+	if !lastCAS {
+		return false
+	}
+	switch e.policy {
+	case PartialOpenPage:
+		return r.pkt.APTag
+	case ClosedPage:
+		return true
+	default:
+		return false
+	}
+}
+
+// tick drives at most one command onto the command bus and retires
+// finished data transfers. Call once per cycle.
+func (e *engine) tick(now int64) {
+	e.dev.Sync(now)
+	// Retire transfers whose data windows have closed.
+	for i := 0; i < len(e.draining); {
+		r := e.draining[i]
+		if now >= r.lastEnd {
+			e.draining = append(e.draining[:i], e.draining[i+1:]...)
+			e.onDone(Completion{Pkt: r.pkt, At: r.lastEnd})
+			continue
+		}
+		i++
+	}
+	if e.maybeRefresh(now) {
+		return
+	}
+	e.issueOne(now)
+}
+
+// issueOne drives the command bus for one cycle: the CAS buffer is served
+// first (a column command due now is what keeps the data bus seamless —
+// with BL4 bursts every other command slot belongs to CAS), then the RAS
+// and PRE buffers prepare upcoming pages in the remaining slots.
+// Starvation is impossible: a request whose CAS keeps winning eventually
+// drains from the window.
+func (e *engine) issueOne(now int64) {
+	if e.tryCAS(now) || e.tryACT(now) || e.tryPRE(now) {
+		e.CmdCycles++
+	}
+}
+
+// maybeRefresh interposes periodic refresh: once due, it drains the
+// pipeline, precharges every open bank and issues REF.
+func (e *engine) maybeRefresh(now int64) bool {
+	if e.refreshEvery <= 0 {
+		return false
+	}
+	if !e.refreshing {
+		if now < e.nextRefresh {
+			return false
+		}
+		e.refreshing = true
+	}
+	// Wait for outstanding column traffic to finish.
+	if len(e.inflight) > 0 || len(e.draining) > 0 {
+		// Let normal command flow continue draining the pipeline.
+		e.refreshIssueBlocked(now)
+		return true
+	}
+	// Precharge any open bank, one per cycle.
+	t := e.dev.Timing()
+	for b := 0; b < t.Banks; b++ {
+		if _, open := e.dev.OpenRow(b, now); open {
+			cmd := dram.Command{Kind: dram.CmdPrecharge, Bank: b}
+			if e.dev.CanIssue(cmd, now) {
+				e.mustIssue(cmd, now)
+			}
+			return true
+		}
+	}
+	cmd := dram.Command{Kind: dram.CmdRefresh}
+	if e.dev.CanIssue(cmd, now) {
+		e.mustIssue(cmd, now)
+		e.refreshing = false
+		e.nextRefresh = now + e.refreshEvery
+	}
+	return true
+}
+
+// refreshIssueBlocked keeps serving the pipeline while a refresh is
+// pending; stopping the admission of new work is the caller's job.
+func (e *engine) refreshIssueBlocked(now int64) {
+	e.issueOne(now)
+}
+
+// tryCAS serves the CAS buffer. The in-order engine only considers the
+// oldest request; the stage-skipping engine issues the first request
+// whose row is open and whose bank has no older pending request. Among
+// eligible requests, ones continuing the current data-bus direction are
+// preferred — a bus turnaround (tWTR / read-to-write gap) costs idle data
+// cycles, so the controller drains direction runs.
+func (e *engine) tryCAS(now int64) bool {
+	if !e.ooo {
+		if len(e.inflight) == 0 {
+			return false
+		}
+		return e.issueCASFor(e.inflight[0], 0, now)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < len(e.inflight); i++ {
+			r := e.inflight[i]
+			if pass == 0 && r.pkt.Kind != e.lastKind {
+				continue
+			}
+			if e.olderSameBank(i) {
+				continue
+			}
+			if e.issueCASFor(r, i, now) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// olderSameBank reports whether an older inflight request targets the
+// same bank as inflight[i] (reordering across it would break the page
+// ownership order).
+func (e *engine) olderSameBank(i int) bool {
+	for _, o := range e.inflight[:i] {
+		if o.pkt.Addr.Bank == e.inflight[i].pkt.Addr.Bank {
+			return true
+		}
+	}
+	return false
+}
+
+// issueCASFor issues the next column command of inflight[i] if its row is
+// open and the command is legal, retiring the request on its last burst.
+func (e *engine) issueCASFor(r *reqState, i int, now int64) bool {
+	t := e.dev.Timing()
+	row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now)
+	if !open || row != r.pkt.Addr.Row {
+		return false
+	}
+	remaining := r.pkt.Beats - r.beatsDone
+	bl := blFor(t, remaining)
+	last := remaining <= bl
+	kind := dram.CmdRead
+	if r.pkt.Kind == noc.Write {
+		kind = dram.CmdWrite
+	}
+	cmd := dram.Command{
+		Kind: kind, Bank: r.pkt.Addr.Bank, Col: r.pkt.Addr.Col + r.beatsDone,
+		BL: bl, AutoPrecharge: e.useAP(r, last),
+	}
+	if !e.dev.CanIssue(cmd, now) {
+		return false
+	}
+	w, err := e.dev.Issue(cmd, now)
+	if err != nil {
+		panic(fmt.Sprintf("memctrl: CanIssue accepted but Issue failed: %v", err))
+	}
+	r.beatsDone += bl
+	r.lastEnd = w.End
+	e.lastKind = r.pkt.Kind
+	if last {
+		e.dev.AddUsefulBeats(int64(r.pkt.Beats))
+		e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
+		e.draining = append(e.draining, r)
+	}
+	return true
+}
+
+// actTarget finds the first request, in order, whose bank is closed and
+// that no older un-CAS'd request contends with (order hazard: an older
+// request to the same bank must own the row first).
+func (e *engine) actTarget(now int64) *reqState {
+	for i, r := range e.inflight {
+		if _, open := e.dev.OpenRow(r.pkt.Addr.Bank, now); open {
+			continue
+		}
+		if e.olderHazard(i) {
+			continue
+		}
+		return r
+	}
+	return nil
+}
+
+// olderHazard reports whether any older inflight request uses the same
+// bank as inflight[i] with a different row.
+func (e *engine) olderHazard(i int) bool {
+	r := e.inflight[i]
+	for _, o := range e.inflight[:i] {
+		if o.pkt.Addr.Bank == r.pkt.Addr.Bank && o.pkt.Addr.Row != r.pkt.Addr.Row {
+			return true
+		}
+	}
+	return false
+}
+
+// tryACT serves the RAS buffer.
+func (e *engine) tryACT(now int64) bool {
+	r := e.actTarget(now)
+	if r == nil {
+		return false
+	}
+	cmd := dram.Command{Kind: dram.CmdActivate, Bank: r.pkt.Addr.Bank, Row: r.pkt.Addr.Row}
+	if !e.dev.CanIssue(cmd, now) {
+		return false
+	}
+	e.mustIssue(cmd, now)
+	return true
+}
+
+// tryPRE serves the PRE buffer: close a bank whose open row mismatches the
+// first request that needs it (bank conflict), respecting order hazards.
+func (e *engine) tryPRE(now int64) bool {
+	for i, r := range e.inflight {
+		row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now)
+		if !open || row == r.pkt.Addr.Row {
+			continue
+		}
+		if e.olderHazard(i) {
+			continue
+		}
+		cmd := dram.Command{Kind: dram.CmdPrecharge, Bank: r.pkt.Addr.Bank}
+		if e.dev.CanIssue(cmd, now) {
+			e.mustIssue(cmd, now)
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) mustIssue(cmd dram.Command, now int64) {
+	if _, err := e.dev.Issue(cmd, now); err != nil {
+		panic(fmt.Sprintf("memctrl: CanIssue accepted but Issue failed: %v", err))
+	}
+}
+
+// busy reports whether any request is inflight or draining.
+func (e *engine) busy() bool { return len(e.inflight) > 0 || len(e.draining) > 0 }
+
+// admitBlocked reports that a refresh is pending and admission should
+// pause until it completes.
+func (e *engine) admitBlocked() bool { return e.refreshing }

@@ -1,0 +1,149 @@
+package memctrl
+
+import (
+	"testing"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+func TestBLForOTFChop(t *testing.T) {
+	otf := dram.MustSpeed(dram.DDR3, 667)
+	if bl := blFor(otf, 3); bl != 4 {
+		t.Errorf("OTF remaining 3 -> BL%d, want BC4", bl)
+	}
+	if bl := blFor(otf, 5); bl != 8 {
+		t.Errorf("OTF remaining 5 -> BL%d, want BL8", bl)
+	}
+	fixed := dram.MustSpeed(dram.DDR2, 333).WithDeviceBL(4)
+	if bl := blFor(fixed, 2); bl != 4 {
+		t.Errorf("fixed mode remaining 2 -> BL%d, want the mode BL", bl)
+	}
+}
+
+func TestOOORespectsSameBankOrder(t *testing.T) {
+	// Two requests to the same bank with different rows must not reorder
+	// even under the stage-skipping engine, or the second would steal the
+	// first's page.
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	var done []Completion
+	s := NewSimple(dev, OpenPage, 8, func(c Completion) { done = append(done, c) })
+	a := req(1, 0, 1, 0, noc.Read, 8, false)
+	b := req(2, 0, 2, 0, noc.Read, 8, false) // same bank, conflicting row
+	c := req(3, 1, 1, 0, noc.Read, 8, false) // different bank: may overtake b
+	drive(t, s, []*noc.Packet{a, b, c}, &done, 2000)
+	if len(done) != 3 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	posOf := func(id int64) int {
+		for i, d := range done {
+			if d.Pkt.ID == id {
+				return i
+			}
+		}
+		return -1
+	}
+	if posOf(2) < posOf(1) {
+		t.Error("same-bank requests reordered")
+	}
+	if posOf(3) > posOf(2) {
+		t.Error("the different-bank request should overtake the conflicting one")
+	}
+}
+
+func TestEngineBlocksAdmissionDuringRefresh(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR1, 133) // tREFI 1036
+	dev := dram.MustNewDevice(tm)
+	s := NewSimple(dev, OpenPage, 4, func(Completion) {})
+	// Idle past the refresh deadline.
+	for now := int64(0); now < tm.TREFI+2; now++ {
+		s.Tick(now)
+	}
+	if !s.eng.admitBlocked() && dev.Stats().Refreshes == 0 {
+		t.Fatal("refresh neither pending nor performed at the deadline")
+	}
+	// Within a handful of cycles the refresh completes and admission
+	// reopens.
+	now := tm.TREFI + 2
+	for ; now < tm.TREFI+200; now++ {
+		s.Tick(now)
+		if !s.eng.admitBlocked() {
+			break
+		}
+	}
+	if s.eng.admitBlocked() {
+		t.Fatal("admission never reopened after refresh")
+	}
+	if dev.Stats().Refreshes != 1 {
+		t.Fatalf("refreshes = %d, want 1", dev.Stats().Refreshes)
+	}
+	if !s.Offer(req(1, 0, 1, 0, noc.Read, 8, false), now) {
+		t.Fatal("offer refused after refresh completed")
+	}
+}
+
+func TestMemMaxDataBufferBound(t *testing.T) {
+	// The per-thread data buffer (32 flits) admits one long write but not
+	// two; a second request queues only once the first drains.
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	m := NewMemMax(dev, MemMaxConfig{Threads: 4, QueueDepth: 32, DataFlits: 32, PipelineDepth: 1}, func(Completion) {})
+	long1 := req(1, 0, 1, 0, noc.Write, 128, false)
+	long1.Class = noc.ClassMedia
+	long1.SrcCore = 0
+	long2 := req(2, 0, 2, 0, noc.Write, 128, false)
+	long2.Class = noc.ClassMedia
+	long2.SrcCore = 0
+	if !m.Offer(long1, 0) {
+		t.Fatal("empty thread must accept even an oversized packet")
+	}
+	if m.Offer(long2, 0) {
+		t.Fatal("second 64-flit write must not fit a 32-flit data buffer")
+	}
+	short := req(3, 1, 1, 0, noc.Read, 8, false)
+	short.Class = noc.ClassDemand
+	if !m.Offer(short, 0) {
+		t.Fatal("other threads must be unaffected")
+	}
+}
+
+func TestPendingForCountsInflight(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	e := newEngine(dev, OpenPage, 4, func(Completion) {})
+	e.admit(req(1, 2, 1, 0, noc.Read, 8, false))
+	e.admit(req(2, 2, 1, 8, noc.Read, 8, false))
+	e.admit(req(3, 3, 1, 0, noc.Read, 8, false))
+	if e.pendingFor(2) != 2 || e.pendingFor(3) != 1 || e.pendingFor(0) != 0 {
+		t.Fatalf("pendingFor wrong: %d %d %d", e.pendingFor(2), e.pendingFor(3), e.pendingFor(0))
+	}
+}
+
+func TestCmdCyclesCountsCommands(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	var done []Completion
+	s := NewSimple(dev, OpenPage, 4, func(c Completion) { done = append(done, c) })
+	drive(t, s, []*noc.Packet{req(1, 0, 1, 0, noc.Read, 8, false)}, &done, 500)
+	// ACT + RD = two command cycles.
+	if s.CmdCycles() != 2 {
+		t.Fatalf("CmdCycles = %d, want 2", s.CmdCycles())
+	}
+}
+
+func TestClosedPagePolicyAPsEverything(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	var done []Completion
+	s := NewSimple(dev, ClosedPage, 4, func(c Completion) { done = append(done, c) })
+	pkts := []*noc.Packet{
+		req(1, 0, 1, 0, noc.Write, 8, false), // untagged: closed page APs anyway
+		req(2, 1, 1, 0, noc.Write, 8, false),
+	}
+	drive(t, s, pkts, &done, 2000)
+	st := dev.Stats()
+	if st.AutoPre != 2 || st.Precharges != 0 {
+		t.Fatalf("closed page: ap=%d pre=%d, want 2/0", st.AutoPre, st.Precharges)
+	}
+}

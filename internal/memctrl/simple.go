@@ -1,0 +1,84 @@
+package memctrl
+
+import (
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+// Controller is the interface the system drives each cycle: offer arriving
+// request packets and tick the command machinery.
+type Controller interface {
+	// Offer presents the next in-order request packet; it returns false
+	// (leaving the packet with the caller) when the subsystem is full,
+	// which backpressures the network.
+	Offer(p *noc.Packet, now int64) bool
+	// Tick advances the controller one memory clock cycle.
+	Tick(now int64)
+	// Busy reports whether any admitted request is still in flight.
+	Busy() bool
+}
+
+// Simple is the paper's lightweight memory subsystem for SDRAM-aware and
+// GSS NoC designs: because multiple routers already scheduled the request
+// stream, it needs no reorder buffers and no scheduler — just the
+// PRE/RAS/CAS command pipeline, served in arrival order, with the page
+// policy (open for [4]/GSS, partially-open + AP for SAGM).
+type Simple struct {
+	eng  *engine
+	last *noc.Packet
+
+	// StreamStats classifies each adjacent pair of admitted requests by
+	// the paper's SDRAM conditions — a direct measure of how
+	// SDRAM-friendly the order delivered by the network is.
+	StreamStats struct {
+		RowHits     int64
+		Interleaves int64
+		Conflicts   int64
+		Contentions int64
+	}
+}
+
+// NewSimple builds the lightweight controller. depth is the command
+// pipeline window (the paper's small PRE/RAS/CAS buffers); onDone receives
+// completions. The pipeline is stage-skipping as in the paper's Fig. 6 —
+// a row-hit request enters the CAS buffer directly and may overtake an
+// older request still waiting in the PRE/RAS stages (same-bank order is
+// preserved).
+func NewSimple(dev *dram.Device, policy PagePolicy, depth int, onDone func(Completion)) *Simple {
+	s := &Simple{eng: newEngine(dev, policy, depth, onDone)}
+	s.eng.ooo = true
+	return s
+}
+
+// Offer implements Controller: admit in order while the pipeline has room
+// and no refresh is draining it.
+func (s *Simple) Offer(p *noc.Packet, now int64) bool {
+	if s.eng.admitBlocked() || !s.eng.canAdmit() {
+		return false
+	}
+	if s.last != nil {
+		switch {
+		case noc.RowHit(s.last, p):
+			s.StreamStats.RowHits++
+		case noc.BankConflict(s.last, p):
+			s.StreamStats.Conflicts++
+		default:
+			s.StreamStats.Interleaves++
+		}
+		if noc.DataContention(s.last, p) {
+			s.StreamStats.Contentions++
+		}
+	}
+	s.last = p
+	s.eng.admit(p)
+	return true
+}
+
+// Tick implements Controller.
+func (s *Simple) Tick(now int64) { s.eng.tick(now) }
+
+// Busy implements Controller.
+func (s *Simple) Busy() bool { return s.eng.busy() }
+
+// CmdCycles exposes command-bus activity for the power model.
+func (s *Simple) CmdCycles() int64 { return s.eng.CmdCycles }

@@ -1,0 +1,133 @@
+package noc
+
+import "fmt"
+
+// PacketProgress tracks a packet resident in one input buffer: how many of
+// its flits have arrived from the upstream link and how many have been
+// forwarded out. The packet occupies Arrived-Sent flit slots.
+type PacketProgress struct {
+	Pkt     *Packet
+	Arrived int
+	Sent    int
+}
+
+// InputBuffer is a FIFO flit buffer of one virtual channel on a router
+// input port (or a sink queue). Wormhole flow control keeps packets in
+// order within a VC: only the head packet may be forwarded, and flits of
+// a packet arrive contiguously because the upstream sender finishes a
+// packet on a VC before starting the next on that VC.
+type InputBuffer struct {
+	vc       int
+	capacity int
+	occupied int
+	packets  []*PacketProgress
+
+	feed *Link // upstream link; flits forwarded out return credits on it
+
+	// onNewPacket, when set, is invoked as the head flit of a packet
+	// arrives (the router uses it to register the packet with the flow
+	// controller of its requested output).
+	onNewPacket func(p *Packet, now int64)
+
+	lastForwardCycle int64 // at most one flit leaves the buffer per cycle
+}
+
+func newInputBuffer(vc, capacity int) *InputBuffer {
+	return &InputBuffer{vc: vc, capacity: capacity, lastForwardCycle: -1}
+}
+
+// inputPort groups the virtual-channel buffers of one physical input.
+type inputPort struct {
+	bufs []*InputBuffer
+}
+
+func newInputPort(vcs, capacity int) *inputPort {
+	p := &inputPort{}
+	for v := 0; v < vcs; v++ {
+		p.bufs = append(p.bufs, newInputBuffer(v, capacity))
+	}
+	return p
+}
+
+// occupied sums flits held across the port's VCs.
+func (p *inputPort) occupied() int {
+	n := 0
+	for _, b := range p.bufs {
+		n += b.occupied
+	}
+	return n
+}
+
+// empty reports whether no packet occupies any VC of the port.
+func (p *inputPort) empty() bool {
+	for _, b := range p.bufs {
+		if len(b.packets) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Capacity returns the buffer size in flits.
+func (b *InputBuffer) Capacity() int { return b.capacity }
+
+// Occupied returns the number of flits currently held.
+func (b *InputBuffer) Occupied() int { return b.occupied }
+
+// acceptFlit stores one arriving flit. head marks the first flit of a
+// packet. Credit flow control guarantees space; overflow is a protocol
+// bug and panics.
+func (b *InputBuffer) acceptFlit(p *Packet, head bool, now int64) {
+	if b.occupied >= b.capacity {
+		panic(fmt.Sprintf("noc: buffer overflow accepting %v (credit protocol violated)", p))
+	}
+	b.occupied++
+	if head {
+		b.packets = append(b.packets, &PacketProgress{Pkt: p, Arrived: 1})
+		if b.onNewPacket != nil {
+			b.onNewPacket(p, now)
+		}
+		return
+	}
+	if len(b.packets) == 0 || b.packets[len(b.packets)-1].Pkt != p {
+		panic(fmt.Sprintf("noc: interleaved flits of %v (wormhole protocol violated)", p))
+	}
+	b.packets[len(b.packets)-1].Arrived++
+}
+
+// head returns the packet at the front of the FIFO, or nil.
+func (b *InputBuffer) head() *PacketProgress {
+	if len(b.packets) == 0 {
+		return nil
+	}
+	return b.packets[0]
+}
+
+// canForward reports whether the head packet has an unforwarded flit
+// available and the buffer has not already forwarded a flit this cycle.
+func (b *InputBuffer) canForward(pp *PacketProgress, now int64) bool {
+	return pp.Arrived > pp.Sent && b.lastForwardCycle != now
+}
+
+// forwardFlit removes one flit of the head packet, returning a credit on
+// the feeding link. It reports whether the packet is fully forwarded (and
+// therefore popped from the FIFO).
+func (b *InputBuffer) forwardFlit(pp *PacketProgress, now int64) bool {
+	if b.head() != pp {
+		panic("noc: forwarding a non-head packet")
+	}
+	if pp.Sent >= pp.Arrived {
+		panic("noc: forwarding a flit that has not arrived")
+	}
+	pp.Sent++
+	b.occupied--
+	b.lastForwardCycle = now
+	if b.feed != nil {
+		b.feed.returnCredit(b.vc)
+	}
+	if pp.Sent == pp.Pkt.Flits {
+		b.packets = b.packets[1:]
+		return true
+	}
+	return false
+}

@@ -1,0 +1,67 @@
+package noc
+
+// creditReceiver is anything that receives returned flow-control credits:
+// router output ports and injectors. Credits are per virtual channel.
+type creditReceiver interface {
+	addCredits(vc, n int)
+}
+
+type flitMsg struct {
+	pkt  *Packet
+	head bool
+	vc   int
+}
+
+// Link is a one-cycle-latency unidirectional channel carrying one flit
+// per cycle from an output port (or injector) to a router input, plus the
+// reverse credit wires. With virtual channels, flits of different VCs may
+// interleave on the link; the receiving side demultiplexes them into
+// per-VC buffers.
+type Link struct {
+	dst      *inputPort
+	creditTo creditReceiver
+
+	pendingFlit    *flitMsg
+	pendingCredits []int // per VC
+}
+
+func newLink(dst *inputPort, creditTo creditReceiver) *Link {
+	l := &Link{dst: dst, creditTo: creditTo, pendingCredits: make([]int, len(dst.bufs))}
+	for _, b := range dst.bufs {
+		b.feed = l
+	}
+	return l
+}
+
+// launch places a flit on the link; it arrives at the destination buffer
+// of its virtual channel on the next deliver phase. At most one flit per
+// cycle crosses the link, whatever its VC.
+func (l *Link) launch(p *Packet, head bool, vc int) {
+	if l.pendingFlit != nil {
+		panic("noc: two flits launched on one link in one cycle")
+	}
+	l.pendingFlit = &flitMsg{pkt: p, head: head, vc: vc}
+}
+
+// returnCredit queues a credit for the upstream sender's given VC; it is
+// applied on the next deliver phase.
+func (l *Link) returnCredit(vc int) { l.pendingCredits[vc]++ }
+
+// deliver moves the in-flight flit into the destination buffer and
+// applies queued credits upstream.
+func (l *Link) deliver(now int64) {
+	if l.pendingFlit != nil {
+		m := l.pendingFlit
+		l.pendingFlit = nil
+		l.dst.bufs[m.vc].acceptFlit(m.pkt, m.head, now)
+	}
+	for vc, n := range l.pendingCredits {
+		if n > 0 && l.creditTo != nil {
+			l.creditTo.addCredits(vc, n)
+			l.pendingCredits[vc] = 0
+		}
+	}
+}
+
+// busy reports whether a flit is in flight.
+func (l *Link) busy() bool { return l.pendingFlit != nil }

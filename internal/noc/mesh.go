@@ -1,0 +1,208 @@
+package noc
+
+import "fmt"
+
+// Coord is a router position on the mesh. X grows eastward, Y southward.
+type Coord struct{ X, Y int }
+
+// String renders the coordinate as (x,y).
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Port directions of a 5-port 2-D mesh router. Local connects to the
+// node's network interface.
+const (
+	PortLocal = iota
+	PortNorth
+	PortEast
+	PortSouth
+	PortWest
+	NumPorts
+)
+
+// PortName returns the conventional name of a port index.
+func PortName(p int) string {
+	switch p {
+	case PortLocal:
+		return "local"
+	case PortNorth:
+		return "north"
+	case PortEast:
+		return "east"
+	case PortSouth:
+		return "south"
+	case PortWest:
+		return "west"
+	default:
+		return fmt.Sprintf("port%d", p)
+	}
+}
+
+// XYRoute returns the output port a packet at cur takes toward dst under
+// dimension-ordered XY routing (X first, then Y): deterministic, minimal,
+// deadlock- and livelock-free, as the paper's implementation uses.
+func XYRoute(cur, dst Coord) int {
+	switch {
+	case dst.X > cur.X:
+		return PortEast
+	case dst.X < cur.X:
+		return PortWest
+	case dst.Y > cur.Y:
+		return PortSouth
+	case dst.Y < cur.Y:
+		return PortNorth
+	default:
+		return PortLocal
+	}
+}
+
+// HopDistance returns the XY hop count between two nodes.
+func HopDistance(a, b Coord) int {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Mesh is one physical network: Width x Height routers plus the links
+// between them. Request and response traffic use separate Mesh instances.
+type Mesh struct {
+	Width, Height int
+	Routers       []*Router
+	vcs           int
+
+	links []*Link
+}
+
+// NewMesh builds a single-virtual-channel (classic wormhole) mesh with
+// every input buffer holding bufFlits flits.
+func NewMesh(width, height, bufFlits int) (*Mesh, error) {
+	return NewMeshVC(width, height, bufFlits, 1)
+}
+
+// NewMeshVC builds a mesh whose input ports carry vcs virtual channels of
+// bufFlits flits each. With vcs > 1, priority packets travel on the
+// highest VC and overtake best-effort wormhole transfers at flit
+// granularity — the buffer organisation the paper names as the
+// alternative to packet splitting.
+func NewMeshVC(width, height, bufFlits, vcs int) (*Mesh, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", width, height)
+	}
+	if bufFlits < 1 {
+		return nil, fmt.Errorf("noc: input buffers need at least 1 flit, got %d", bufFlits)
+	}
+	if vcs < 1 || vcs > 4 {
+		return nil, fmt.Errorf("noc: virtual channels must be 1..4, got %d", vcs)
+	}
+	m := &Mesh{Width: width, Height: height, vcs: vcs}
+	m.Routers = make([]*Router, width*height)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			m.Routers[m.index(Coord{x, y})] = newRouter(Coord{x, y}, vcs, bufFlits)
+		}
+	}
+	// Wire neighbouring routers with links in both directions.
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			c := Coord{x, y}
+			r := m.RouterAt(c)
+			if x+1 < width {
+				e := m.RouterAt(Coord{x + 1, y})
+				m.connect(r, PortEast, e, PortWest)
+				m.connect(e, PortWest, r, PortEast)
+			}
+			if y+1 < height {
+				s := m.RouterAt(Coord{x, y + 1})
+				m.connect(r, PortSouth, s, PortNorth)
+				m.connect(s, PortNorth, r, PortSouth)
+			}
+		}
+	}
+	return m, nil
+}
+
+// VCs returns the number of virtual channels per input port.
+func (m *Mesh) VCs() int { return m.vcs }
+
+func (m *Mesh) index(c Coord) int { return c.Y*m.Width + c.X }
+
+// RouterAt returns the router at a coordinate.
+func (m *Mesh) RouterAt(c Coord) *Router {
+	if c.X < 0 || c.X >= m.Width || c.Y < 0 || c.Y >= m.Height {
+		panic(fmt.Sprintf("noc: coordinate %v outside %dx%d mesh", c, m.Width, m.Height))
+	}
+	return m.Routers[m.index(c)]
+}
+
+// connect wires src's output port to dst's input port with a 1-cycle link.
+func (m *Mesh) connect(src *Router, srcPort int, dst *Router, dstPort int) {
+	l := newLink(dst.In[dstPort], src.Out[srcPort])
+	src.Out[srcPort].link = l
+	for vc, b := range dst.In[dstPort].bufs {
+		src.Out[srcPort].credits[vc] = b.capacity
+	}
+	m.links = append(m.links, l)
+}
+
+// AttachInjector connects an injection source (a network interface) to the
+// local input port of the router at c and returns the injection handle.
+func (m *Mesh) AttachInjector(c Coord) *Injector {
+	r := m.RouterAt(c)
+	inj := newInjector(c, m.vcs)
+	for vc, b := range r.In[PortLocal].bufs {
+		inj.credits[vc] = b.capacity
+	}
+	inj.link = newLink(r.In[PortLocal], inj)
+	m.links = append(m.links, inj.link)
+	return inj
+}
+
+// AttachSink connects the local output port of the router at c to a
+// consumer. queueFlits sizes the credit-managed flit buffer of each VC;
+// maxReady bounds how many reassembled packets may await the consumer
+// before backpressure propagates into the mesh.
+func (m *Mesh) AttachSink(c Coord, queueFlits, maxReady int) *Sink {
+	r := m.RouterAt(c)
+	s := newSink(m.vcs, queueFlits, maxReady)
+	l := newLink(s.port, r.Out[PortLocal])
+	r.Out[PortLocal].link = l
+	for vc := range r.Out[PortLocal].credits {
+		r.Out[PortLocal].credits[vc] = queueFlits
+	}
+	m.links = append(m.links, l)
+	return s
+}
+
+// Step advances the whole mesh by one cycle: links deliver the flits and
+// credits launched last cycle, then every router output arbitrates and
+// forwards at most one flit.
+func (m *Mesh) Step(now int64) {
+	for _, l := range m.links {
+		l.deliver(now)
+	}
+	for _, r := range m.Routers {
+		r.step(now)
+	}
+}
+
+// Quiescent reports whether no packet occupies any buffer or link in the
+// mesh — used by drain phases and tests.
+func (m *Mesh) Quiescent() bool {
+	for _, r := range m.Routers {
+		for _, p := range r.In {
+			if !p.empty() {
+				return false
+			}
+		}
+	}
+	for _, l := range m.links {
+		if l.busy() {
+			return false
+		}
+	}
+	return true
+}

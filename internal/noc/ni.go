@@ -1,0 +1,171 @@
+package noc
+
+// Injector is the sending half of a network interface: it queues packets
+// per virtual channel and streams their flits into the local input port
+// of its router, subject to credits. With multiple VCs a priority packet
+// is injected on the priority VC and its flits take the local link ahead
+// of any best-effort packet mid-transfer.
+type Injector struct {
+	at      Coord
+	link    *Link
+	credits []int
+
+	queues [][]*Packet
+	sent   []int // flits of each VC's queue head already launched
+
+	// OnFirstFlit, when set, is invoked as a packet's head flit enters
+	// the network — the reference point for network-entry latency.
+	OnFirstFlit func(p *Packet, now int64)
+}
+
+func newInjector(at Coord, vcs int) *Injector {
+	return &Injector{
+		at:      at,
+		credits: make([]int, vcs),
+		queues:  make([][]*Packet, vcs),
+		sent:    make([]int, vcs),
+	}
+}
+
+func (inj *Injector) addCredits(vc, n int) { inj.credits[vc] += n }
+
+// At returns the mesh coordinate the injector is attached to.
+func (inj *Injector) At() Coord { return inj.at }
+
+// Enqueue appends a packet to the injection queue of its virtual channel.
+func (inj *Injector) Enqueue(p *Packet) {
+	vc := vcOf(p, len(inj.queues))
+	inj.queues[vc] = append(inj.queues[vc], p)
+}
+
+// QueueLen returns the number of packets waiting across VCs (including
+// any being streamed).
+func (inj *Injector) QueueLen() int {
+	n := 0
+	for _, q := range inj.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// QueueFlits returns the number of unsent flits waiting in the injection
+// queues; network interfaces use it to backpressure their traffic source.
+func (inj *Injector) QueueFlits() int {
+	n := 0
+	for vc, q := range inj.queues {
+		for _, p := range q {
+			n += p.Flits
+		}
+		n -= inj.sent[vc]
+	}
+	return n
+}
+
+// Step launches at most one flit, serving the priority VC first. Call
+// once per cycle, after Mesh.Step.
+func (inj *Injector) Step(now int64) {
+	for vc := len(inj.queues) - 1; vc >= 0; vc-- {
+		q := inj.queues[vc]
+		if len(q) == 0 || inj.credits[vc] <= 0 {
+			continue
+		}
+		p := q[0]
+		head := inj.sent[vc] == 0
+		inj.link.launch(p, head, vc)
+		if head && inj.OnFirstFlit != nil {
+			inj.OnFirstFlit(p, now)
+		}
+		inj.credits[vc]--
+		inj.sent[vc]++
+		if inj.sent[vc] == p.Flits {
+			inj.queues[vc] = q[1:]
+			inj.sent[vc] = 0
+		}
+		return
+	}
+}
+
+// Sink is the receiving half of a network interface. Arriving flits land
+// in small credit-managed per-VC buffers and are drained by Step into a
+// reassembly area; completed packets queue in a bounded ready list the
+// consumer (memory subsystem or core) pops from, priority VC first. When
+// the consumer stops popping, the ready list fills, draining stops, the
+// flit buffers fill, and credit backpressure propagates into the mesh —
+// so a packet longer than the flit buffer still flows through as long as
+// the consumer keeps up.
+type Sink struct {
+	port     *inputPort
+	maxReady int
+	partial  []int // flits of each VC's head packet already drained
+	ready    []*Packet
+}
+
+func newSink(vcs, queueFlits, maxReady int) *Sink {
+	return &Sink{
+		port:     newInputPort(vcs, queueFlits),
+		maxReady: maxReady,
+		partial:  make([]int, vcs),
+	}
+}
+
+// Step drains arrived flits into the reassembly area, priority VC first.
+// Call once per cycle after Mesh.Step.
+func (s *Sink) Step(now int64) {
+	for vc := len(s.port.bufs) - 1; vc >= 0; vc-- {
+		s.drainVC(vc)
+	}
+}
+
+func (s *Sink) drainVC(vc int) {
+	buf := s.port.bufs[vc]
+	for len(s.ready) < s.maxReady {
+		pp := buf.head()
+		if pp == nil {
+			return
+		}
+		drained := false
+		for pp.Arrived > pp.Sent {
+			pp.Sent++
+			s.partial[vc]++
+			buf.occupied--
+			if buf.feed != nil {
+				buf.feed.returnCredit(vc)
+			}
+			drained = true
+			if pp.Sent == pp.Pkt.Flits {
+				buf.packets = buf.packets[1:]
+				s.ready = append(s.ready, pp.Pkt)
+				s.partial[vc] = 0
+				break
+			}
+		}
+		if !drained || s.partial[vc] > 0 {
+			return
+		}
+	}
+}
+
+// Peek returns the oldest fully received packet, or nil.
+func (s *Sink) Peek() *Packet {
+	if len(s.ready) == 0 {
+		return nil
+	}
+	return s.ready[0]
+}
+
+// Pop removes and returns the oldest fully received packet, or nil.
+func (s *Sink) Pop(now int64) *Packet {
+	if len(s.ready) == 0 {
+		return nil
+	}
+	p := s.ready[0]
+	s.ready = s.ready[1:]
+	return p
+}
+
+// Occupied reports the flits currently held in the sink's credit buffers.
+func (s *Sink) Occupied() int { return s.port.occupied() }
+
+// Ready reports the number of fully received packets awaiting the
+// consumer.
+func (s *Sink) Ready() int { return len(s.ready) }

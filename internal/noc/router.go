@@ -1,0 +1,182 @@
+package noc
+
+// Candidate is a packet competing for an output channel: the head packet
+// of one input-buffer VC, identified by its input port.
+type Candidate struct {
+	Pkt  *Packet
+	Port int
+}
+
+// Allocator is a flow-control policy for one router output channel. The
+// router consults it whenever the channel becomes free and more than one
+// (or one) packet desires it; winner-take-all allocation then holds the
+// channel for the winner until its tail flit has passed (within its
+// virtual channel — other VCs interleave at flit granularity).
+//
+// Implementations: round-robin and priority-first in internal/router, the
+// paper's GSS token algorithm in internal/core.
+type Allocator interface {
+	// OnPacketArrival is invoked once when a packet arrives in an input
+	// buffer of this router and will request this output.
+	OnPacketArrival(p *Packet, now int64)
+	// Select picks the winner among the candidate buffer heads, returning
+	// an index into cands, or -1 to leave the channel idle this cycle.
+	Select(cands []Candidate, now int64) int
+	// OnScheduled is invoked when the selected packet is granted the
+	// channel.
+	OnScheduled(p *Packet, now int64)
+}
+
+// activeXfer is a wormhole transfer in progress on one VC of an output
+// port.
+type activeXfer struct {
+	buf *InputBuffer
+	pp  *PacketProgress
+}
+
+// OutputPort is one output channel of a router: its downstream link,
+// per-VC credits and transfers, and the flow-control policy. With a
+// single VC this is classic wormhole winner-take-all; with more, the
+// priority VC's flits take the link first, so a priority packet overtakes
+// a long best-effort transfer at flit granularity.
+type OutputPort struct {
+	link    *Link
+	credits []int
+	alloc   Allocator
+	active  []*activeXfer
+
+	// BusyCycles counts cycles a flit was actually launched; used by the
+	// activity-based power model.
+	BusyCycles int64
+}
+
+func (o *OutputPort) addCredits(vc, n int) { o.credits[vc] += n }
+
+// vcCount returns the number of virtual channels on the port.
+func (o *OutputPort) vcCount() int { return len(o.active) }
+
+// Router is a 5-port wormhole mesh router. Routing is XY; each output
+// port carries its own allocator so that, as in the paper, only channels
+// on paths toward the memory subsystem need the (more expensive) GSS flow
+// controller.
+type Router struct {
+	Pos Coord
+	In  [NumPorts]*inputPort
+	Out [NumPorts]*OutputPort
+	vcs int
+
+	routing Routing
+	pinned  map[*Packet]int // adaptive routing decisions, per resident packet
+}
+
+func newRouter(pos Coord, vcs, bufFlits int) *Router {
+	r := &Router{Pos: pos, vcs: vcs}
+	for p := 0; p < NumPorts; p++ {
+		r.In[p] = newInputPort(vcs, bufFlits)
+		r.Out[p] = &OutputPort{
+			alloc:   &fifoAllocator{},
+			credits: make([]int, vcs),
+			active:  make([]*activeXfer, vcs),
+		}
+		for _, b := range r.In[p].bufs {
+			b.onNewPacket = func(pkt *Packet, now int64) {
+				out := r.pinRoute(pkt)
+				r.Out[out].alloc.OnPacketArrival(pkt, now)
+			}
+		}
+	}
+	return r
+}
+
+// SetAllocator installs a flow-control policy on one output port.
+func (r *Router) SetAllocator(port int, a Allocator) { r.Out[port].alloc = a }
+
+// SetAllAllocators installs policies produced by mk on every output port.
+func (r *Router) SetAllAllocators(mk func(port int) Allocator) {
+	for p := 0; p < NumPorts; p++ {
+		r.Out[p].alloc = mk(p)
+	}
+}
+
+// vcOf returns the virtual channel a packet travels on: with more than
+// one VC, priority packets ride the last (highest) VC and best-effort
+// traffic the rest is assigned VC 0 — the classic QoS arrangement the
+// paper contrasts with SAGM splitting.
+func vcOf(p *Packet, vcs int) int {
+	if vcs > 1 && p.Priority {
+		return vcs - 1
+	}
+	return 0
+}
+
+// step performs this router's work for one cycle: allocate free output
+// VCs and forward at most one flit per output (the physical link carries
+// one flit per cycle; the priority VC goes first).
+func (r *Router) step(now int64) {
+	for out := 0; out < NumPorts; out++ {
+		o := r.Out[out]
+		if o.link == nil {
+			continue // unconnected edge port
+		}
+		for vc := range o.active {
+			if o.active[vc] == nil {
+				r.allocate(out, vc, now)
+			}
+		}
+		// Send one flit: highest VC (priority) first.
+		for vc := o.vcCount() - 1; vc >= 0; vc-- {
+			a := o.active[vc]
+			if a == nil || o.credits[vc] <= 0 || !a.buf.canForward(a.pp, now) {
+				continue
+			}
+			head := a.pp.Sent == 0
+			o.link.launch(a.pp.Pkt, head, vc)
+			o.credits[vc]--
+			o.BusyCycles++
+			if a.buf.forwardFlit(a.pp, now) {
+				r.unpinRoute(a.pp.Pkt)
+				o.active[vc] = nil
+			}
+			break
+		}
+	}
+}
+
+// allocate gathers the input-buffer heads of the given VC requesting
+// output port out and asks the port's allocator to pick a winner.
+func (r *Router) allocate(out, vc int, now int64) {
+	o := r.Out[out]
+	var cands []Candidate
+	var bufs []*InputBuffer
+	for in := 0; in < NumPorts; in++ {
+		b := r.In[in].bufs[vc]
+		pp := b.head()
+		if pp == nil {
+			continue
+		}
+		if r.pinRoute(pp.Pkt) != out {
+			continue
+		}
+		cands = append(cands, Candidate{Pkt: pp.Pkt, Port: in})
+		bufs = append(bufs, b)
+	}
+	if len(cands) == 0 {
+		return
+	}
+	idx := o.alloc.Select(cands, now)
+	if idx < 0 {
+		return
+	}
+	buf := bufs[idx]
+	o.active[vc] = &activeXfer{buf: buf, pp: buf.head()}
+	o.alloc.OnScheduled(cands[idx].Pkt, now)
+}
+
+// fifoAllocator is the default placeholder policy: it grants the first
+// candidate in port order. Real configurations install round-robin,
+// priority-first, or GSS allocators.
+type fifoAllocator struct{}
+
+func (fifoAllocator) OnPacketArrival(*Packet, int64)    {}
+func (fifoAllocator) Select(c []Candidate, _ int64) int { return 0 }
+func (fifoAllocator) OnScheduled(*Packet, int64)        {}

@@ -1,0 +1,76 @@
+package paperdata
+
+import "testing"
+
+func TestTableShapes(t *testing.T) {
+	if len(TableI) != 9 || len(TableII) != 9 {
+		t.Fatalf("tables I/II rows = %d/%d, want 9 each", len(TableI), len(TableII))
+	}
+	apps := map[string]int{}
+	for _, e := range TableI {
+		apps[e.App]++
+		if e.Gen < 1 || e.Gen > 3 {
+			t.Errorf("bad generation in %+v", e)
+		}
+	}
+	for a, n := range apps {
+		if n != 3 {
+			t.Errorf("app %s has %d rows, want 3", a, n)
+		}
+	}
+}
+
+func TestPaperAveragesMatchPublishedRatios(t *testing.T) {
+	// The paper's own "Ratio" summary rows: Table I util ratios are
+	// 0.914 / 1.000 / 1.018 / 1.054 against [4] (column 1).
+	util, latAll, latDem := AverageRatios(TableI, 1)
+	wantUtil := [4]float64{0.914, 1.000, 1.018, 1.054}
+	wantLat := [4]float64{1.591, 1.000, 0.942, 0.846}
+	wantDem := [4]float64{1.847, 1.000, 1.007, 0.878}
+	for i := range util {
+		if d := util[i] - wantUtil[i]; d > 0.01 || d < -0.01 {
+			t.Errorf("Table I util ratio[%d] = %.3f, paper %.3f", i, util[i], wantUtil[i])
+		}
+		if d := latAll[i]/wantLat[i] - 1; d > 0.02 || d < -0.02 {
+			t.Errorf("Table I lat ratio[%d] = %.3f, paper %.3f", i, latAll[i], wantLat[i])
+		}
+		if d := latDem[i]/wantDem[i] - 1; d > 0.02 || d < -0.02 {
+			t.Errorf("Table I dem ratio[%d] = %.3f, paper %.3f", i, latDem[i], wantDem[i])
+		}
+	}
+	// Table II against [4]+PFS: the paper reports ratios against
+	// Table I's [4], so here we just sanity-check ordering.
+	util2, lat2, dem2 := AverageRatios(TableII, 1)
+	if !(util2[0] < util2[1] && util2[1] < util2[2] && util2[2] < util2[3]) {
+		t.Errorf("Table II util ordering broken: %v", util2)
+	}
+	if !(lat2[0] > lat2[1] && lat2[1] > lat2[2] && lat2[2] > lat2[3]) {
+		t.Errorf("Table II latency ordering broken: %v", lat2)
+	}
+	if !(dem2[0] > dem2[1] && dem2[2] > dem2[3]) {
+		t.Errorf("Table II demand ordering broken: %v", dem2)
+	}
+}
+
+func TestTable4ConsistentWithPaperClaims(t *testing.T) {
+	// 33.8% and 3.3% smaller than CONV and [4].
+	gss := Table4[2].NoC3x3
+	if r := 1 - float64(gss)/float64(Table4[0].NoC3x3); r < 0.33 || r > 0.35 {
+		t.Errorf("NoC saving vs CONV = %.3f, want ~0.338", r)
+	}
+	if r := 1 - float64(gss)/float64(Table4[1].NoC3x3); r < 0.03 || r > 0.04 {
+		t.Errorf("NoC saving vs [4] = %.3f, want ~0.033", r)
+	}
+}
+
+func TestTable5Ratios(t *testing.T) {
+	// The paper: 28.5% less power than CONV on average.
+	var conv, ours float64
+	for i := 0; i < len(Table5); i += 3 {
+		conv += Table5[i].PowerMW
+		ours += Table5[i+2].PowerMW
+	}
+	if r := 1 - ours/conv; r < 0.23 || r > 0.30 {
+		t.Errorf("average power saving vs CONV = %.3f, want ~0.285", r)
+	}
+}

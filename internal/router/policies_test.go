@@ -1,0 +1,87 @@
+package router
+
+import (
+	"testing"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+func cand(port int, pri bool) noc.Candidate {
+	return noc.Candidate{
+		Port: port,
+		Pkt: &noc.Packet{
+			ID: int64(port + 1), Priority: pri, Kind: noc.Read,
+			Addr: dram.Address{Bank: port % 4}, Beats: 8, Flits: 4,
+		},
+	}
+}
+
+func TestRoundRobinRotates(t *testing.T) {
+	rr := &RoundRobin{}
+	cands := []noc.Candidate{cand(0, false), cand(2, false), cand(4, false)}
+	var grants []int
+	for i := 0; i < 6; i++ {
+		w := rr.Select(cands, int64(i))
+		if w < 0 {
+			t.Fatal("round robin must grant")
+		}
+		grants = append(grants, cands[w].Port)
+		rr.OnScheduled(cands[w].Pkt, int64(i))
+	}
+	want := []int{0, 2, 4, 0, 2, 4}
+	for i := range want {
+		if grants[i] != want[i] {
+			t.Fatalf("grants = %v, want %v", grants, want)
+		}
+	}
+}
+
+func TestRoundRobinEmpty(t *testing.T) {
+	rr := &RoundRobin{}
+	if rr.Select(nil, 0) != -1 {
+		t.Fatal("empty candidate set must return -1")
+	}
+}
+
+func TestRoundRobinSkipsAbsentPorts(t *testing.T) {
+	rr := &RoundRobin{}
+	cands := []noc.Candidate{cand(3, false)}
+	if w := rr.Select(cands, 0); w != 0 {
+		t.Fatalf("Select = %d, want 0", w)
+	}
+	rr.OnScheduled(cands[0].Pkt, 0)
+	if rr.Grants != 1 {
+		t.Fatalf("Grants = %d, want 1", rr.Grants)
+	}
+}
+
+func TestPriorityFirstPrefersPriority(t *testing.T) {
+	pf := &PriorityFirst{Inner: &RoundRobin{}}
+	cands := []noc.Candidate{cand(0, false), cand(1, true), cand(2, false)}
+	if w := pf.Select(cands, 0); w != 1 {
+		t.Fatalf("Select = %d, want the priority candidate (1)", w)
+	}
+	pf.OnScheduled(cands[1].Pkt, 0)
+}
+
+func TestPriorityFirstFallsBackToRR(t *testing.T) {
+	pf := &PriorityFirst{Inner: &RoundRobin{}}
+	cands := []noc.Candidate{cand(1, false), cand(3, false)}
+	w := pf.Select(cands, 0)
+	if w != 0 {
+		t.Fatalf("Select = %d, want 0 (RR from port 0)", w)
+	}
+}
+
+func TestPriorityFirstTieBreaksWithinPriorityClass(t *testing.T) {
+	pf := &PriorityFirst{Inner: &RoundRobin{}}
+	cands := []noc.Candidate{cand(2, true), cand(4, true), cand(0, false)}
+	w := pf.Select(cands, 0)
+	if !cands[w].Pkt.Priority {
+		t.Fatal("winner must be a priority packet")
+	}
+	if cands[w].Port != 2 {
+		t.Fatalf("RR within priority class should pick port 2, got %d", cands[w].Port)
+	}
+}

@@ -1,0 +1,131 @@
+// Package stats collects the paper's evaluation metrics: per-class memory
+// request latencies (mean, max, percentiles via logarithmic histogram) and
+// derived utilization figures.
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Latency accumulates request latencies with a power-of-two histogram so
+// percentiles are available without storing samples.
+type Latency struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	// buckets[i] counts samples with latency in [2^i, 2^(i+1)).
+	buckets [40]int64
+}
+
+// Add records one sample.
+func (l *Latency) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	l.Count++
+	l.Sum += v
+	if v > l.Max {
+		l.Max = v
+	}
+	l.buckets[bucketOf(v)]++
+}
+
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v)) - 1
+	if b >= len(Latency{}.buckets) {
+		b = len(Latency{}.buckets) - 1
+	}
+	return b
+}
+
+// Mean returns the average latency, 0 when empty.
+func (l *Latency) Mean() float64 {
+	if l.Count == 0 {
+		return 0
+	}
+	return float64(l.Sum) / float64(l.Count)
+}
+
+// Percentile returns an upper bound on the p-th percentile (p in [0,100])
+// at histogram-bucket resolution.
+func (l *Latency) Percentile(p float64) int64 {
+	if l.Count == 0 {
+		return 0
+	}
+	target := int64(float64(l.Count) * p / 100.0)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range l.buckets {
+		seen += n
+		if seen >= target {
+			return (int64(1) << uint(i+1)) - 1
+		}
+	}
+	return l.Max
+}
+
+// Merge folds other into l.
+func (l *Latency) Merge(other *Latency) {
+	l.Count += other.Count
+	l.Sum += other.Sum
+	if other.Max > l.Max {
+		l.Max = other.Max
+	}
+	for i := range l.buckets {
+		l.buckets[i] += other.buckets[i]
+	}
+}
+
+// String renders a compact summary.
+func (l *Latency) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p95<=%d max=%d", l.Count, l.Mean(), l.Percentile(95), l.Max)
+}
+
+// Metrics aggregates one simulation run's measurements in the paper's
+// three latency columns plus supporting detail.
+type Metrics struct {
+	Cycles int64
+
+	All      Latency // every logical request
+	Demand   Latency // ClassDemand requests (the paper's "demand packet" column)
+	Priority Latency // requests flagged priority (== Demand in Table II runs)
+	Best     Latency // best-effort requests
+
+	Reads  Latency
+	Writes Latency
+
+	// SourceLatency measures generation-to-completion (including the
+	// network-interface queue); the primary latencies measure from
+	// network entry, which is what an RTL NoC testbench observes.
+	SourceLatency Latency
+
+	Generated int64 // logical requests generated
+	Completed int64 // logical requests completed inside the window
+	Stalled   int64 // generator cycles lost to injection backpressure
+}
+
+// Record adds one completed logical request.
+func (m *Metrics) Record(latency int64, demand, priority, read bool) {
+	m.Completed++
+	m.All.Add(latency)
+	if demand {
+		m.Demand.Add(latency)
+	}
+	if priority {
+		m.Priority.Add(latency)
+	}
+	if !priority {
+		m.Best.Add(latency)
+	}
+	if read {
+		m.Reads.Add(latency)
+	} else {
+		m.Writes.Add(latency)
+	}
+}

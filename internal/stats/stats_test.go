@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatencyBasics(t *testing.T) {
+	var l Latency
+	if l.Mean() != 0 || l.Percentile(95) != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	for _, v := range []int64{10, 20, 30} {
+		l.Add(v)
+	}
+	if l.Count != 3 || l.Sum != 60 || l.Max != 30 {
+		t.Fatalf("accumulator state: %+v", l)
+	}
+	if l.Mean() != 20 {
+		t.Errorf("mean = %v, want 20", l.Mean())
+	}
+}
+
+func TestLatencyNegativeClamped(t *testing.T) {
+	var l Latency
+	l.Add(-5)
+	if l.Sum != 0 || l.Count != 1 {
+		t.Fatalf("negative sample mishandled: %+v", l)
+	}
+}
+
+func TestPercentileBoundsSamples(t *testing.T) {
+	var l Latency
+	for i := int64(1); i <= 1000; i++ {
+		l.Add(i)
+	}
+	p50 := l.Percentile(50)
+	p99 := l.Percentile(99)
+	if p50 < 500 {
+		t.Errorf("p50 upper bound %d below true median 500", p50)
+	}
+	if p99 < 990 {
+		t.Errorf("p99 upper bound %d below true p99", p99)
+	}
+	if p99 > 2048 {
+		t.Errorf("p99 bound %d too loose for max 1000", p99)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Latency
+	a.Add(10)
+	b.Add(100)
+	b.Add(200)
+	a.Merge(&b)
+	if a.Count != 3 || a.Sum != 310 || a.Max != 200 {
+		t.Fatalf("merged: %+v", a)
+	}
+}
+
+func TestMetricsRecordRouting(t *testing.T) {
+	var m Metrics
+	m.Record(100, true, true, true)   // demand, priority, read
+	m.Record(50, false, false, false) // best-effort write
+	if m.All.Count != 2 || m.Demand.Count != 1 || m.Priority.Count != 1 {
+		t.Fatalf("routing broken: %+v", m)
+	}
+	if m.Best.Count != 1 || m.Reads.Count != 1 || m.Writes.Count != 1 {
+		t.Fatalf("class split broken: %+v", m)
+	}
+	if m.Completed != 2 {
+		t.Fatalf("completed = %d", m.Completed)
+	}
+}
+
+func TestPropertyPercentileIsUpperBound(t *testing.T) {
+	// The histogram percentile must never undercut the true percentile.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latency
+		max := int64(0)
+		for _, v := range raw {
+			l.Add(int64(v))
+			if int64(v) > max {
+				max = int64(v)
+			}
+		}
+		return l.Percentile(100) >= max && l.Mean() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,597 @@
+package system
+
+import (
+	"fmt"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/core"
+	"aanoc/internal/dram"
+	"aanoc/internal/mapping"
+	"aanoc/internal/memctrl"
+	"aanoc/internal/noc"
+	"aanoc/internal/router"
+	"aanoc/internal/sim"
+	"aanoc/internal/stats"
+	"aanoc/internal/trace"
+	"aanoc/internal/traffic"
+)
+
+// Config specifies one simulation run.
+type Config struct {
+	App      appmodel.App
+	Gen      dram.Generation
+	ClockMHz int // 0: the application's clock for Gen
+	Design   Design
+
+	// PCT is the hybrid priority control token for GSS designs
+	// (default 3; [4] and [4]+PFS override it).
+	PCT int
+	// GSSRouters limits how many routers (nearest the memory first) run
+	// the GSS engine: 0 (the default) means all of them, -1 means none
+	// (the Fig. 8 baseline), and a positive k replaces exactly the k
+	// routers closest to the memory subsystem (the Fig. 8 sweep).
+	GSSRouters int
+
+	// PriorityDemand marks CPU demand requests as priority packets
+	// (Table II); Table I runs with it off.
+	PriorityDemand bool
+
+	Cycles int64
+	Warmup int64 // latency samples start after this cycle (default Cycles/10)
+	Seed   uint64
+
+	// BufFlits sizes router input buffers (default 8 flits per virtual
+	// channel).
+	BufFlits int
+	// VirtualChannels selects the buffer organisation of both meshes:
+	// 1 (default) is the paper's wormhole implementation; 2 adds a
+	// priority virtual channel so priority packets overtake long
+	// best-effort transfers at flit granularity — the alternative
+	// blocking remedy the paper contrasts SAGM splitting with.
+	VirtualChannels int
+	// AdaptiveRouting switches both meshes from the paper's XY routing to
+	// the west-first adaptive turn model: packets with several minimal
+	// paths take the least congested one (the paper's output-scheduler
+	// discussion for adaptive routers).
+	AdaptiveRouting bool
+	// InjectCap is the NI injection backlog in flits beyond which the
+	// traffic source stalls (default 64).
+	InjectCap int
+	// MemPipeline is the command pipeline depth of the lightweight
+	// controller (default 4).
+	MemPipeline int
+	// SplitGranularity overrides the SAGM split size in beats (ablation);
+	// 0 uses the paper's per-generation value.
+	SplitGranularity int
+	// Trace, when set, records every generated logical request (capture
+	// mode); Replay, when non-empty, replaces the application's synthetic
+	// generators with the recorded requests (replay mode) — identical
+	// workloads across designs.
+	Trace  *trace.Writer
+	Replay []trace.Record
+
+	// TagEveryRequest reverts to the paper's literal partially-open-page
+	// policy: every logical request's last split carries the AP tag, so
+	// the bank closes after every request. The default tags only the
+	// stream's final access to a row (the network interface knows its
+	// address walk), keeping rows open for known upcoming hits. The
+	// paper-literal mode is where the short turn-around interleaving
+	// (STI) counters matter: at high DDR3 clocks a closed bank needs
+	// tWR+tRP+tRCD cycles before it can serve the next same-row request,
+	// and the Fig. 4(b) filters steer other banks' traffic in between.
+	TagEveryRequest bool
+	// PagePolicy overrides the memory page policy (ablation); nil uses
+	// the design's policy.
+	PagePolicy *memctrl.PagePolicy
+}
+
+// Result carries one run's measurements.
+type Result struct {
+	Design   Design
+	App      string
+	Gen      dram.Generation
+	ClockMHz int
+	Cycles   int64
+
+	Utilization float64
+	LatAll      float64
+	LatDemand   float64
+	LatPriority float64
+	LatBest     float64
+	P95All      int64
+
+	Generated int64
+	Completed int64
+
+	Device dram.Stats
+	// WasteFrac is the fraction of transferred beats the requester never
+	// asked for (access granularity mismatch, Fig. 2).
+	WasteFrac float64
+
+	// NetBusyCycles sums flit transfers over all request-mesh outputs;
+	// GSSGrants counts GSS channel allocations; CmdCycles counts
+	// command-bus activity — inputs to the Table V power model.
+	NetBusyCycles int64
+	GSSGrants     int64
+	CmdCycles     int64
+
+	// PerCore breaks service down by requesting core; Fairness is Jain's
+	// index over per-core served beats (1 = perfectly proportional
+	// service, 1/n = one core monopolises the memory).
+	PerCore  []CoreStats
+	Fairness float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ClockMHz == 0 {
+		c.ClockMHz = c.App.Clocks[c.Gen]
+	}
+	if c.PCT == 0 {
+		c.PCT = 3
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 200_000
+	}
+	if c.Warmup == 0 {
+		c.Warmup = c.Cycles / 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xA11CE
+	}
+	if c.BufFlits == 0 {
+		c.BufFlits = 8
+	}
+	if c.VirtualChannels == 0 {
+		c.VirtualChannels = 1
+	}
+	if c.InjectCap == 0 {
+		c.InjectCap = 64
+	}
+	if c.MemPipeline == 0 {
+		c.MemPipeline = 8
+	}
+	return c
+}
+
+// logical tracks an outstanding logical request across its splits.
+type logical struct {
+	gen      int64 // generation cycle at the core
+	entry    int64 // cycle the first flit entered the request mesh (-1 until then)
+	stream   traffic.Source
+	class    noc.Class
+	priority bool
+	read     bool
+	pending  int
+	core     int
+	beats    int
+}
+
+// coreNI is one core's network interface: traffic generators, request
+// injector and response sink.
+type coreNI struct {
+	spec appmodel.Core
+	gens []traffic.Source
+	inj  *noc.Injector
+	sink *noc.Sink
+}
+
+// Runner is a fully wired simulation; Step advances it cycle by cycle.
+// Most callers use Run; Runner is exported for examples and tests that
+// want mid-run visibility.
+type Runner struct {
+	cfg    Config
+	timing dram.Timing
+	dev    *dram.Device
+
+	reqMesh, respMesh *noc.Mesh
+	memSink           *noc.Sink
+	respInj           *noc.Injector
+	ctrl              memctrl.Controller
+
+	cores   []*coreNI
+	bySrc   map[noc.Coord]*coreNI
+	parents map[int64]*logical
+
+	split  *core.Splitter // nil when the design does not split
+	nextID int64
+
+	met       stats.Metrics
+	coreStats []CoreStats
+	now       int64
+
+	gssAllocs []*core.GSS
+}
+
+// CoreStats is the per-core service breakdown of one run.
+type CoreStats struct {
+	Name       string
+	Completed  int64
+	Beats      int64 // useful beats served
+	LatencySum int64 // generation-to-completion, summed
+}
+
+// MeanLatency returns the core's average request latency.
+func (c CoreStats) MeanLatency() float64 {
+	if c.Completed == 0 {
+		return 0
+	}
+	return float64(c.LatencySum) / float64(c.Completed)
+}
+
+// New wires a simulation for the configuration.
+func New(cfg Config) (*Runner, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.App.Validate(); err != nil {
+		return nil, err
+	}
+	timing, err := dram.Speed(cfg.Gen, cfg.ClockMHz)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Design.usesSAGM() && cfg.Gen != dram.DDR3 {
+		timing = timing.WithDeviceBL(4)
+	}
+	dev, err := dram.NewDevice(timing)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:     cfg,
+		timing:  timing,
+		dev:     dev,
+		bySrc:   map[noc.Coord]*coreNI{},
+		parents: map[int64]*logical{},
+	}
+	if r.reqMesh, err = noc.NewMeshVC(cfg.App.Width, cfg.App.Height, cfg.BufFlits, cfg.VirtualChannels); err != nil {
+		return nil, err
+	}
+	if r.respMesh, err = noc.NewMeshVC(cfg.App.Width, cfg.App.Height, cfg.BufFlits, cfg.VirtualChannels); err != nil {
+		return nil, err
+	}
+	if cfg.AdaptiveRouting {
+		r.reqMesh.SetRouting(noc.RoutingWestFirst)
+		r.respMesh.SetRouting(noc.RoutingWestFirst)
+	}
+	r.installAllocators()
+
+	// Memory subsystem attachment.
+	memReady := 4
+	if cfg.Design.usesMemMax() {
+		memReady = 8
+	}
+	r.memSink = r.reqMesh.AttachSink(cfg.App.MemAt, 2*cfg.BufFlits, memReady)
+	r.respInj = r.respMesh.AttachInjector(cfg.App.MemAt)
+
+	onDone := func(c memctrl.Completion) { r.onMemDone(c) }
+	if cfg.Design.usesMemMax() {
+		mm := memctrl.DefaultMemMaxConfig()
+		mm.PriorityFirst = cfg.Design == ConvPFS
+		// The bus-level scheduler hands one transaction at a time to the
+		// controller, whose command look-ahead prepares the next page
+		// while the current data transfers (a window of two).
+		mm.PipelineDepth = 2
+		r.ctrl = memctrl.NewMemMax(dev, mm, onDone)
+	} else {
+		policy := memctrl.OpenPage
+		if cfg.Design.usesSAGM() {
+			policy = memctrl.PartialOpenPage
+		}
+		if cfg.PagePolicy != nil {
+			policy = *cfg.PagePolicy
+		}
+		r.ctrl = memctrl.NewSimple(dev, policy, cfg.MemPipeline, onDone)
+	}
+
+	if cfg.Design.usesSAGM() {
+		g := cfg.SplitGranularity
+		if g == 0 {
+			g = core.SplitGranularity(int(cfg.Gen))
+		}
+		r.split = &core.Splitter{GranularityBeats: g}
+	}
+
+	// Cores: traffic sources + NIs. In replay mode the recorded requests
+	// replace the synthetic generators.
+	rng := sim.NewRNG(cfg.Seed)
+	var replay map[string][]trace.Record
+	if len(cfg.Replay) > 0 {
+		replay = trace.SplitByCore(cfg.Replay)
+	}
+	for _, spec := range cfg.App.Cores {
+		ni := &coreNI{
+			spec: spec,
+			inj:  r.reqMesh.AttachInjector(spec.Pos),
+			sink: r.respMesh.AttachSink(spec.Pos, 2*cfg.BufFlits, 16),
+		}
+		ni.inj.OnFirstFlit = func(p *noc.Packet, now int64) {
+			if l, ok := r.parents[p.ParentID]; ok && l.entry < 0 {
+				l.entry = now
+			}
+		}
+		if replay != nil {
+			ni.gens = append(ni.gens, trace.NewReplayer(replay[spec.Name]))
+		} else {
+			for _, s := range spec.Streams {
+				g, err := traffic.NewGen(s, timing.Banks, appmodel.RowBeats, cfg.PriorityDemand, sim.NewRNG(rng.Uint64()))
+				if err != nil {
+					return nil, err
+				}
+				ni.gens = append(ni.gens, g)
+			}
+		}
+		r.cores = append(r.cores, ni)
+		r.bySrc[spec.Pos] = ni
+		r.coreStats = append(r.coreStats, CoreStats{Name: spec.Name})
+	}
+	return r, nil
+}
+
+// installAllocators sets every router output's flow-control policy
+// according to the design and the Fig. 8 GSS-router count.
+func (r *Runner) installAllocators() {
+	cfg := r.cfg
+	// Response mesh: priority-first round-robin everywhere — without
+	// priority flags (Table I runs, CONV/[4] baselines) this is plain
+	// round-robin; with them, read data for priority requests overtakes
+	// best-effort responses at every merge, the return half of the
+	// guaranteed service.
+	for _, rt := range r.respMesh.Routers {
+		rt.SetAllAllocators(func(int) noc.Allocator {
+			return &router.PriorityFirst{Inner: &router.RoundRobin{}}
+		})
+	}
+	gssSet := map[noc.Coord]bool{}
+	if cfg.Design.usesGSSEngine() {
+		order := mapping.RoutersByDistance(cfg.App.Width, cfg.App.Height, cfg.App.MemAt)
+		n := cfg.GSSRouters
+		switch {
+		case n == 0 || n > len(order):
+			n = len(order)
+		case n < 0:
+			n = 0
+		}
+		for _, c := range order[:n] {
+			gssSet[c] = true
+		}
+	}
+	sti := core.STIParams{}
+	if cfg.Design.usesSTI() {
+		sti = core.STIParams{
+			Enabled:   true,
+			WriteIdle: r.timing.TWR + r.timing.TRP,
+			ReadIdle:  r.timing.TRP,
+		}
+	}
+	gssCfg := core.Config{Banks: r.timing.Banks, STI: sti}
+	gssCfg.PCT = cfg.Design.pctFor(cfg.PCT, gssCfg.MaxTokens())
+	for _, rt := range r.reqMesh.Routers {
+		switch {
+		case gssSet[rt.Pos]:
+			rt.SetAllAllocators(func(int) noc.Allocator {
+				g := core.MustNew(gssCfg)
+				r.gssAllocs = append(r.gssAllocs, g)
+				return g
+			})
+		case cfg.Design.priorityFirstNet() || cfg.Design.usesGSSEngine():
+			// Non-GSS routers in a priority design (and the Fig. 8
+			// baseline remainder) are priority-first round-robin.
+			rt.SetAllAllocators(func(int) noc.Allocator {
+				return &router.PriorityFirst{Inner: &router.RoundRobin{}}
+			})
+		default:
+			rt.SetAllAllocators(func(int) noc.Allocator { return &router.RoundRobin{} })
+		}
+	}
+}
+
+// onMemDone handles a controller completion: writes complete the split
+// immediately; reads send a response packet back through the response
+// mesh.
+func (r *Runner) onMemDone(c memctrl.Completion) {
+	p := c.Pkt
+	if p.Kind == noc.Write {
+		r.completeSplit(p, c.At)
+		return
+	}
+	r.nextID++
+	resp := &noc.Packet{
+		ID: r.nextID, ParentID: p.ParentID,
+		SrcCore: p.SrcCore, Src: r.cfg.App.MemAt, Dst: p.Src,
+		Kind: noc.Read, Class: p.Class, Priority: p.Priority,
+		Addr: p.Addr, Beats: p.Beats,
+		Flits: noc.FlitsForBeats(p.Beats), Splits: p.Splits,
+		Gen: p.Gen, Response: true,
+	}
+	r.respInj.Enqueue(resp)
+}
+
+// completeSplit retires one split of a logical request; the last one
+// records the latency sample and unblocks a closed-loop stream.
+func (r *Runner) completeSplit(p *noc.Packet, at int64) {
+	l, ok := r.parents[p.ParentID]
+	if !ok {
+		return
+	}
+	l.pending--
+	if l.pending > 0 {
+		return
+	}
+	delete(r.parents, p.ParentID)
+	if l.core >= 0 && l.core < len(r.coreStats) {
+		cs := &r.coreStats[l.core]
+		cs.Completed++
+		cs.Beats += int64(l.beats)
+		cs.LatencySum += at - l.gen
+	}
+	if l.gen >= r.cfg.Warmup {
+		entry := l.entry
+		if entry < 0 {
+			entry = l.gen
+		}
+		r.met.Record(at-entry, l.class == noc.ClassDemand, l.priority, l.read)
+		r.met.SourceLatency.Add(at - l.gen)
+	} else {
+		r.met.Completed++
+	}
+	l.stream.OnComplete(at)
+}
+
+// Step advances the whole system one memory clock cycle.
+func (r *Runner) Step() {
+	now := r.now
+	r.reqMesh.Step(now)
+	r.respMesh.Step(now)
+	r.memSink.Step(now)
+	for _, c := range r.cores {
+		c.sink.Step(now)
+	}
+	// Memory subsystem: admit in-order from the sink, then tick.
+	for {
+		p := r.memSink.Peek()
+		if p == nil || !r.ctrl.Offer(p, now) {
+			break
+		}
+		r.memSink.Pop(now)
+	}
+	r.ctrl.Tick(now)
+	r.respInj.Step(now)
+	// Core side: responses complete reads; generators inject new work.
+	for _, c := range r.cores {
+		for {
+			p := c.sink.Pop(now)
+			if p == nil {
+				break
+			}
+			r.completeSplit(p, now)
+		}
+		blocked := c.inj.QueueFlits() >= r.cfg.InjectCap
+		for _, g := range c.gens {
+			req := g.Tick(now, blocked)
+			if req == nil {
+				continue
+			}
+			r.injectLogical(c, g, req, now)
+		}
+		c.inj.Step(now)
+	}
+	r.now++
+}
+
+// injectLogical packetises a logical request (splitting under SAGM) and
+// queues the packets for injection.
+func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request, now int64) {
+	if r.cfg.Trace != nil {
+		if err := r.cfg.Trace.Write(trace.FromRequest(now, c.spec.Name, req)); err != nil {
+			panic(fmt.Sprintf("system: trace capture failed: %v", err))
+		}
+	}
+	r.nextID++
+	base := &noc.Packet{
+		ID: r.nextID, ParentID: r.nextID,
+		SrcCore: indexOf(r.cores, c), Src: c.spec.Pos, Dst: r.cfg.App.MemAt,
+		Kind: req.Kind, Class: req.Class, Priority: req.Priority,
+		Addr: req.Addr, Beats: req.Beats, Gen: now,
+		APTag: req.EndOfRow || r.cfg.TagEveryRequest,
+	}
+	var pkts []*noc.Packet
+	if r.split != nil {
+		var err error
+		pkts, err = r.split.Split(base, func() int64 { r.nextID++; return r.nextID })
+		if err != nil {
+			panic(fmt.Sprintf("system: split failed: %v", err))
+		}
+	} else {
+		pkts = core.NoSplit(base)
+	}
+	r.parents[base.ID] = &logical{
+		gen: now, entry: -1, stream: g, class: req.Class, priority: req.Priority,
+		read: req.Kind == noc.Read, pending: len(pkts),
+		core: base.SrcCore, beats: req.Beats,
+	}
+	r.met.Generated++
+	for _, p := range pkts {
+		c.inj.Enqueue(p)
+	}
+}
+
+func indexOf(cores []*coreNI, c *coreNI) int {
+	for i, x := range cores {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Metrics exposes the accumulating measurements (examples, tests).
+func (r *Runner) Metrics() *stats.Metrics { return &r.met }
+
+// Device exposes the DRAM device (examples, tests).
+func (r *Runner) Device() *dram.Device { return r.dev }
+
+// Now returns the current cycle.
+func (r *Runner) Now() int64 { return r.now }
+
+// Finish assembles the Result after the run.
+func (r *Runner) Finish() Result {
+	cfg := r.cfg
+	st := r.dev.Stats()
+	res := Result{
+		Design: cfg.Design, App: cfg.App.Name, Gen: cfg.Gen, ClockMHz: cfg.ClockMHz,
+		Cycles:      r.now,
+		Utilization: r.dev.Utilization(r.now),
+		LatAll:      r.met.All.Mean(),
+		LatDemand:   r.met.Demand.Mean(),
+		LatPriority: r.met.Priority.Mean(),
+		LatBest:     r.met.Best.Mean(),
+		P95All:      r.met.All.Percentile(95),
+		Generated:   r.met.Generated,
+		Completed:   r.met.Completed,
+		Device:      st,
+		CmdCycles:   st.Activates + st.Reads + st.Writes + st.Precharges + st.Refreshes,
+	}
+	if st.BurstsBL > 0 {
+		res.WasteFrac = float64(st.BurstsBL-st.UsefulBeats) / float64(st.BurstsBL)
+	}
+	for _, rt := range r.reqMesh.Routers {
+		for p := 0; p < noc.NumPorts; p++ {
+			res.NetBusyCycles += rt.Out[p].BusyCycles
+		}
+	}
+	for _, g := range r.gssAllocs {
+		res.GSSGrants += g.Scheduled
+	}
+	res.PerCore = append(res.PerCore, r.coreStats...)
+	res.Fairness = jain(r.coreStats)
+	return res
+}
+
+// jain computes Jain's fairness index over per-core served beats.
+func jain(cs []CoreStats) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, c := range cs {
+		x := float64(c.Beats)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Run executes a complete simulation for the configuration.
+func Run(cfg Config) (Result, error) {
+	r, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cycles := r.cfg.Cycles
+	for i := int64(0); i < cycles; i++ {
+		r.Step()
+	}
+	return r.Finish(), nil
+}

@@ -1,0 +1,292 @@
+// Package traffic generates the application memory request streams the
+// paper's benchmarks are built from. Each core carries one or more
+// streams; a stream produces logical requests (before any SAGM splitting)
+// with a configurable class, burst-size mix, read/write mix, offered load
+// and address pattern.
+//
+// The paper evaluates proprietary industrial traffic (Blu-ray and DTV
+// SoCs); these generators are the documented substitution: they reproduce
+// the traffic structure the paper's mechanisms react to — packet-length
+// distribution (granularity mismatch), demand-vs-best-effort mix
+// (priority service), and bank/row locality (conflict and row-hit rates).
+package traffic
+
+import (
+	"fmt"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+	"aanoc/internal/sim"
+)
+
+// Pattern selects how a stream walks the address space.
+type Pattern int
+
+const (
+	// Streaming walks columns sequentially through rows of a private row
+	// region, advancing banks page by page like a frame buffer with
+	// row-bank-column interleaving: strongly row-hit-friendly within the
+	// stream, conflict-prone across streams sharing banks.
+	Streaming Pattern = iota
+	// Random draws a fresh bank and row for every request (demand-miss
+	// style traffic).
+	Random
+	// Strided alternates between two row regions (double-buffered
+	// producer/consumer behaviour).
+	Strided
+)
+
+// Stream describes one request stream of a core.
+type Stream struct {
+	Name  string
+	Class noc.Class
+
+	// ReadFrac is the probability a request is a read.
+	ReadFrac float64
+	// Beats lists the burst sizes (in data beats) the stream draws from,
+	// uniformly; repeat an entry to weight it.
+	Beats []int
+	// LoadFrac is the offered load as a fraction of the DRAM data-bus
+	// bandwidth (open-loop streams). A request of b beats occupies b/2
+	// bus cycles, so the mean inter-arrival time is (b/2)/LoadFrac.
+	LoadFrac float64
+
+	// ClosedLoop streams (CPU demand) bound their outstanding requests
+	// and think for ThinkTime cycles after each completion.
+	ClosedLoop bool
+	ThinkTime  int64
+	// MaxOutstanding is the closed-loop window (default 1). A superscalar
+	// core with several misses in flight issues bursts of demand requests
+	// — the paper's Fig. 1 scenario where two priority packets to the
+	// same bank compete.
+	MaxOutstanding int
+
+	Pattern Pattern
+	// BankOffset rotates the stream's bank walk so different cores start
+	// on different banks.
+	BankOffset int
+	// RowBase/RowRange bound the stream's private row region.
+	RowBase, RowRange int
+}
+
+// Validate reports specification errors.
+func (s *Stream) Validate() error {
+	if len(s.Beats) == 0 {
+		return fmt.Errorf("traffic: stream %q has no burst sizes", s.Name)
+	}
+	for _, b := range s.Beats {
+		if b < 1 {
+			return fmt.Errorf("traffic: stream %q has burst of %d beats", s.Name, b)
+		}
+	}
+	if !s.ClosedLoop && (s.LoadFrac <= 0 || s.LoadFrac > 1) {
+		return fmt.Errorf("traffic: stream %q load fraction %v outside (0,1]", s.Name, s.LoadFrac)
+	}
+	if s.ReadFrac < 0 || s.ReadFrac > 1 {
+		return fmt.Errorf("traffic: stream %q read fraction %v", s.Name, s.ReadFrac)
+	}
+	if s.RowRange < 1 {
+		return fmt.Errorf("traffic: stream %q empty row region", s.Name)
+	}
+	return nil
+}
+
+// Source produces logical requests for one stream of a core: the
+// synthetic generators of this package, or a trace.Replayer feeding
+// recorded workloads back into the system.
+type Source interface {
+	// Tick returns the request issued this cycle, or nil. blocked
+	// reports network-interface backpressure.
+	Tick(now int64, blocked bool) *Request
+	// OnComplete notifies the source that one of its logical requests
+	// finished (closed-loop pacing).
+	OnComplete(now int64)
+}
+
+// Request is a logical memory request produced by a stream, before SAGM
+// splitting and packetisation.
+type Request struct {
+	Stream   *Gen
+	Kind     noc.Kind
+	Class    noc.Class
+	Priority bool
+	Addr     dram.Address
+	Beats    int
+	// EndOfRow marks the stream's last access to this DRAM row; under
+	// SAGM the network interface places the auto-precharge tag only on
+	// the final split of such a request, so the partially-open-page
+	// policy keeps rows open exactly as long as the application will
+	// still hit them.
+	EndOfRow bool
+}
+
+// Gen is the runtime state of one stream.
+type Gen struct {
+	Spec Stream
+	rng  *sim.RNG
+
+	banks    int
+	rowBeats int // beats per row (page size / bus width)
+
+	nextAt      int64
+	outstanding int
+
+	bank, row, colBeat int
+
+	priority bool // demand requests flagged priority this run
+
+	// Produced counts generated requests; Blocked counts generation
+	// opportunities lost to backpressure.
+	Produced int64
+	Blocked  int64
+}
+
+// NewGen builds the runtime generator for a stream. banks and rowBeats
+// describe the device geometry (rowBeats = row size in data beats);
+// priority marks whether demand-class requests carry the priority flag
+// this run.
+func NewGen(spec Stream, banks, rowBeats int, priority bool, rng *sim.RNG) (*Gen, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if banks < 1 || rowBeats < 1 {
+		return nil, fmt.Errorf("traffic: bad geometry banks=%d rowBeats=%d", banks, rowBeats)
+	}
+	g := &Gen{
+		Spec:     spec,
+		rng:      rng,
+		banks:    banks,
+		rowBeats: rowBeats,
+		bank:     spec.BankOffset % banks,
+		row:      spec.RowBase,
+		priority: priority && spec.Class == noc.ClassDemand,
+	}
+	// Desynchronise stream start times.
+	g.nextAt = int64(rng.Intn(64))
+	return g, nil
+}
+
+// meanBeats returns the average burst size of the stream.
+func (g *Gen) meanBeats() float64 {
+	sum := 0
+	for _, b := range g.Spec.Beats {
+		sum += b
+	}
+	return float64(sum) / float64(len(g.Spec.Beats))
+}
+
+// Tick returns the logical request the stream issues this cycle, or nil.
+// blocked reports whether the network interface refuses new work. A
+// blocked open-loop stream skips the request (a stalled media pipeline
+// degrades rather than accumulating unbounded debt), so a design that
+// cannot keep up shows its deficit as lost utilization at bounded latency
+// — the paper's regime. A blocked closed-loop (demand) stream retries
+// every cycle.
+func (g *Gen) Tick(now int64, blocked bool) *Request {
+	if g.Spec.ClosedLoop && g.outstanding >= g.window() {
+		return nil
+	}
+	if now < g.nextAt {
+		return nil
+	}
+	if blocked {
+		g.Blocked++
+		return nil
+	}
+	r := g.makeRequest()
+	g.Produced++
+	if g.Spec.ClosedLoop {
+		g.outstanding++
+	} else {
+		busCycles := dram.BurstCycles(r.Beats)
+		ia := int64(float64(busCycles)/g.Spec.LoadFrac + 0.5)
+		g.nextAt = now + sim.Jitter(g.rng, ia, 0.4)
+	}
+	return r
+}
+
+// OnComplete notifies a closed-loop stream that one outstanding request
+// finished; it thinks for ThinkTime (jittered) before refilling the
+// window.
+func (g *Gen) OnComplete(now int64) {
+	if !g.Spec.ClosedLoop {
+		return
+	}
+	if g.outstanding > 0 {
+		g.outstanding--
+	}
+	at := now + sim.Jitter(g.rng, g.Spec.ThinkTime, 0.5)
+	if at > g.nextAt {
+		g.nextAt = at
+	}
+}
+
+// window returns the closed-loop outstanding bound.
+func (g *Gen) window() int {
+	if g.Spec.MaxOutstanding < 1 {
+		return 1
+	}
+	return g.Spec.MaxOutstanding
+}
+
+// makeRequest draws size, direction and address.
+func (g *Gen) makeRequest() *Request {
+	beats := sim.Pick(g.rng, g.Spec.Beats)
+	kind := noc.Write
+	if g.rng.Float64() < g.Spec.ReadFrac {
+		kind = noc.Read
+	}
+	var addr dram.Address
+	endOfRow := true
+	switch g.Spec.Pattern {
+	case Random:
+		addr = dram.Address{
+			Bank: g.rng.Intn(g.banks),
+			Row:  g.Spec.RowBase + g.rng.Intn(g.Spec.RowRange),
+			Col:  g.rng.Intn(maxInt(1, g.rowBeats-beats)+1) / 8 * 8,
+		}
+	case Strided:
+		half := maxInt(1, g.Spec.RowRange/2)
+		region := g.rng.Intn(2) * half
+		addr = dram.Address{
+			Bank: (g.Spec.BankOffset + g.rng.Intn(2)) % g.banks,
+			Row:  g.Spec.RowBase + region + g.rng.Intn(half),
+			Col:  g.rng.Intn(maxInt(1, g.rowBeats-beats)+1) / 8 * 8,
+		}
+	default: // Streaming
+		if g.colBeat+beats > g.rowBeats {
+			g.colBeat = 0
+			g.bank = (g.bank + 1) % g.banks
+			if g.bank == g.Spec.BankOffset%g.banks {
+				g.row = g.Spec.RowBase + (g.row-g.Spec.RowBase+1)%g.Spec.RowRange
+			}
+		}
+		addr = dram.Address{Bank: g.bank, Row: g.row, Col: g.colBeat}
+		g.colBeat += beats
+		// The stream keeps hitting this row until the next request no
+		// longer fits.
+		minBeats := g.Spec.Beats[0]
+		for _, b := range g.Spec.Beats {
+			if b < minBeats {
+				minBeats = b
+			}
+		}
+		endOfRow = g.colBeat+minBeats > g.rowBeats
+	}
+	return &Request{
+		Stream:   g,
+		Kind:     kind,
+		Class:    g.Spec.Class,
+		Priority: g.priority,
+		Addr:     addr,
+		Beats:    beats,
+		EndOfRow: endOfRow,
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,219 @@
+package traffic
+
+import (
+	"testing"
+
+	"aanoc/internal/noc"
+	"aanoc/internal/sim"
+)
+
+func spec() Stream {
+	return Stream{
+		Name: "t", Class: noc.ClassMedia, ReadFrac: 0.5,
+		Beats: []int{8, 16}, LoadFrac: 0.1,
+		Pattern: Streaming, RowBase: 0, RowRange: 64,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []func(*Stream){
+		func(s *Stream) { s.Beats = nil },
+		func(s *Stream) { s.Beats = []int{0} },
+		func(s *Stream) { s.LoadFrac = 0 },
+		func(s *Stream) { s.LoadFrac = 1.5 },
+		func(s *Stream) { s.ReadFrac = -0.1 },
+		func(s *Stream) { s.RowRange = 0 },
+	}
+	for i, f := range bad {
+		s := spec()
+		f(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	closed := spec()
+	closed.ClosedLoop = true
+	closed.LoadFrac = 0 // closed loop has no load fraction
+	if err := closed.Validate(); err != nil {
+		t.Errorf("closed loop spec rejected: %v", err)
+	}
+}
+
+func TestOpenLoopRateApproximatesLoad(t *testing.T) {
+	s := spec()
+	s.Beats = []int{16} // 8 bus cycles per request
+	s.LoadFrac = 0.2    // one request per ~40 cycles
+	g, err := NewGen(s, 4, 512, false, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	cycles := int64(100000)
+	for now := int64(0); now < cycles; now++ {
+		if g.Tick(now, false) != nil {
+			n++
+		}
+	}
+	// Offered bus cycles = n * 8; fraction should be close to 0.2.
+	got := float64(n*8) / float64(cycles)
+	if got < 0.16 || got > 0.24 {
+		t.Errorf("offered load = %v, want ~0.2", got)
+	}
+}
+
+func TestClosedLoopWaitsForCompletion(t *testing.T) {
+	s := spec()
+	s.ClosedLoop = true
+	s.ThinkTime = 10
+	s.LoadFrac = 0
+	g, err := NewGen(s, 4, 512, false, sim.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Request
+	now := int64(0)
+	for ; first == nil && now < 200; now++ {
+		first = g.Tick(now, false)
+	}
+	if first == nil {
+		t.Fatal("no request generated")
+	}
+	// Until completion, nothing more comes out.
+	for k := int64(0); k < 100; k++ {
+		if g.Tick(now+k, false) != nil {
+			t.Fatal("closed loop issued while outstanding")
+		}
+	}
+	g.OnComplete(now + 100)
+	issued := false
+	for k := int64(101); k < 200 && !issued; k++ {
+		issued = g.Tick(now+k, false) != nil
+	}
+	if !issued {
+		t.Fatal("closed loop did not resume after completion")
+	}
+}
+
+func TestBlockedGeneratorRetries(t *testing.T) {
+	s := spec()
+	g, err := NewGen(s, 4, 512, false, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block long enough to pass the start offset, then unblock.
+	for now := int64(0); now < 100; now++ {
+		if got := g.Tick(now, true); got != nil {
+			t.Fatal("blocked generator must not emit")
+		}
+	}
+	if g.Blocked == 0 {
+		t.Fatal("blocked opportunities not counted")
+	}
+	var r *Request
+	for now := int64(100); now < 200 && r == nil; now++ {
+		r = g.Tick(now, false)
+	}
+	if r == nil {
+		t.Fatal("generator did not recover after unblocking")
+	}
+}
+
+func TestStreamingAddressesAreSequentialRowHits(t *testing.T) {
+	s := spec()
+	s.Beats = []int{16}
+	s.LoadFrac = 0.9
+	g, err := NewGen(s, 4, 64, false, sim.NewRNG(4)) // small rows: 4 requests per row
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []*Request
+	for now := int64(0); len(reqs) < 40 && now < 100000; now++ {
+		if r := g.Tick(now, false); r != nil {
+			reqs = append(reqs, r)
+		}
+	}
+	if len(reqs) < 40 {
+		t.Fatal("not enough requests")
+	}
+	hits := 0
+	for i := 1; i < len(reqs); i++ {
+		a, b := reqs[i-1].Addr, reqs[i].Addr
+		if a.Bank == b.Bank && a.Row == b.Row {
+			hits++
+			if b.Col != a.Col+16 {
+				t.Fatalf("columns not sequential: %v -> %v", a, b)
+			}
+		}
+	}
+	if hits < len(reqs)/2 {
+		t.Errorf("streaming row-hit pairs = %d of %d, want majority", hits, len(reqs)-1)
+	}
+}
+
+func TestRandomAddressesStayInRegion(t *testing.T) {
+	s := spec()
+	s.Pattern = Random
+	s.RowBase, s.RowRange = 100, 50
+	g, err := NewGen(s, 8, 512, false, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := int64(0); now < 50000; now++ {
+		if r := g.Tick(now, false); r != nil {
+			if r.Addr.Row < 100 || r.Addr.Row >= 150 {
+				t.Fatalf("row %d outside region", r.Addr.Row)
+			}
+			if r.Addr.Bank < 0 || r.Addr.Bank >= 8 {
+				t.Fatalf("bank %d out of range", r.Addr.Bank)
+			}
+		}
+	}
+}
+
+func TestDemandPriorityFlag(t *testing.T) {
+	s := spec()
+	s.Class = noc.ClassDemand
+	s.ClosedLoop = true
+	s.LoadFrac = 0
+	g, err := NewGen(s, 4, 512, true, sim.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r *Request
+	for now := int64(0); r == nil && now < 200; now++ {
+		r = g.Tick(now, false)
+	}
+	if r == nil || !r.Priority {
+		t.Fatal("demand request should carry the priority flag when enabled")
+	}
+	// Media-class streams never get the flag even when priority is on.
+	m := spec()
+	gm, _ := NewGen(m, 4, 512, true, sim.NewRNG(7))
+	var rm *Request
+	for now := int64(0); rm == nil && now < 500; now++ {
+		rm = gm.Tick(now, false)
+	}
+	if rm == nil || rm.Priority {
+		t.Fatal("media request must not carry the priority flag")
+	}
+}
+
+func TestReadFractionRespected(t *testing.T) {
+	s := spec()
+	s.ReadFrac = 0.8
+	s.LoadFrac = 0.5
+	g, _ := NewGen(s, 4, 512, false, sim.NewRNG(8))
+	reads, total := 0, 0
+	for now := int64(0); now < 200000 && total < 2000; now++ {
+		if r := g.Tick(now, false); r != nil {
+			total++
+			if r.Kind == noc.Read {
+				reads++
+			}
+		}
+	}
+	frac := float64(reads) / float64(total)
+	if frac < 0.74 || frac > 0.86 {
+		t.Errorf("read fraction = %v, want ~0.8", frac)
+	}
+}

@@ -1,0 +1,169 @@
+package aanoc
+
+// Shape tests: the orderings and approximate ratios the paper's claims
+// rest on, asserted end to end against full-system simulations. These are
+// the reproduction's contract — EXPERIMENTS.md records the quantitative
+// detail; these tests fail if a change breaks the qualitative story.
+
+import (
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+)
+
+// shapeRun caches one run per design for the shared configuration.
+func shapeRun(t *testing.T, d system.Design, priority bool) Result {
+	t.Helper()
+	res, err := system.Run(system.Config{
+		App: appmodel.BluRay(), Gen: dram.DDR2, Design: d,
+		PriorityDemand: priority, Cycles: 120_000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestShapeTableI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system shape test")
+	}
+	conv := shapeRun(t, system.Conv, false)
+	ref4 := shapeRun(t, system.SDRAMAware, false)
+	sagm := shapeRun(t, system.GSSSAGM, false)
+
+	// The SDRAM-aware NoC beats the conventional design on both axes.
+	if conv.Utilization >= ref4.Utilization {
+		t.Errorf("CONV util %.3f should be below [4] %.3f", conv.Utilization, ref4.Utilization)
+	}
+	if conv.LatAll <= ref4.LatAll {
+		t.Errorf("CONV latency %.0f should exceed [4] %.0f", conv.LatAll, ref4.LatAll)
+	}
+	// The paper's CONV latency penalty is ~1.6x; ours must be >= 1.2x.
+	if r := conv.LatAll / ref4.LatAll; r < 1.2 {
+		t.Errorf("CONV/[4] latency ratio %.2f, want >= 1.2", r)
+	}
+	// SAGM wastes almost nothing; BL8 designs waste several percent.
+	if sagm.WasteFrac > 0.03 {
+		t.Errorf("SAGM waste %.3f should be tiny", sagm.WasteFrac)
+	}
+	if ref4.WasteFrac < 2*sagm.WasteFrac {
+		t.Errorf("[4] waste %.3f should far exceed SAGM %.3f", ref4.WasteFrac, sagm.WasteFrac)
+	}
+	// SAGM shortens latency.
+	if sagm.LatAll >= ref4.LatAll {
+		t.Errorf("SAGM latency %.0f should beat [4] %.0f", sagm.LatAll, ref4.LatAll)
+	}
+	// SAGM's useful utilization stays within a few percent of [4]'s while
+	// moving far fewer total beats.
+	useful := func(r Result) float64 { return r.Utilization * (1 - r.WasteFrac) }
+	if useful(sagm) < 0.95*useful(ref4) {
+		t.Errorf("SAGM useful util %.3f too far below [4] %.3f", useful(sagm), useful(ref4))
+	}
+}
+
+func TestShapeTableII(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system shape test")
+	}
+	convPFS := shapeRun(t, system.ConvPFS, true)
+	ref4PFS := shapeRun(t, system.SDRAMAwarePFS, true)
+	gss := shapeRun(t, system.GSS, true)
+	sagm := shapeRun(t, system.GSSSAGM, true)
+
+	// Priority latency ordering: CONV+PFS worst, SAGM best.
+	if convPFS.LatPriority <= ref4PFS.LatPriority {
+		t.Errorf("CONV+PFS priority latency %.0f should exceed [4]+PFS %.0f",
+			convPFS.LatPriority, ref4PFS.LatPriority)
+	}
+	if sagm.LatPriority >= gss.LatPriority {
+		t.Errorf("SAGM priority latency %.0f should beat GSS %.0f",
+			sagm.LatPriority, gss.LatPriority)
+	}
+	// The paper's headline: GSS+SAGM improves priority latency over the
+	// [4]-style baseline by a large margin (paper: ~15-33%).
+	if r := 1 - sagm.LatPriority/ref4PFS.LatPriority; r < 0.15 {
+		t.Errorf("SAGM priority gain over [4]+PFS = %.1f%%, want >= 15%%", 100*r)
+	}
+	// Priority service must not starve best-effort traffic in the GSS
+	// designs: best-effort latency stays within 2x of the no-priority run.
+	ref4 := shapeRun(t, system.SDRAMAware, false)
+	if gss.LatBest > 2*ref4.LatAll {
+		t.Errorf("GSS best-effort latency %.0f collapsed vs baseline %.0f", gss.LatBest, ref4.LatAll)
+	}
+}
+
+func TestShapeFig8Saturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system shape test")
+	}
+	run := func(k int) Result {
+		res, err := system.Run(system.Config{
+			App: appmodel.SingleDTV(), Gen: dram.DDR1, ClockMHz: 200,
+			Design: system.GSSSAGM, GSSRouters: k,
+			PriorityDemand: true, Cycles: 100_000, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	k0, k3, kAll := run(-1), run(3), run(9)
+	if k3.Utilization <= k0.Utilization {
+		t.Errorf("three GSS routers (%.3f) should beat zero (%.3f)", k3.Utilization, k0.Utilization)
+	}
+	if k3.LatAll >= k0.LatAll {
+		t.Errorf("three GSS routers latency %.0f should beat zero %.0f", k3.LatAll, k0.LatAll)
+	}
+	// Saturation: the k=0 -> k=3 step captures most of the full-mesh gain.
+	gain3 := k3.Utilization - k0.Utilization
+	gainAll := kAll.Utilization - k0.Utilization
+	if gainAll > 0 && gain3 < 0.5*gainAll {
+		t.Errorf("k=3 captures %.0f%% of the gain, want >= 50%%", 100*gain3/gainAll)
+	}
+}
+
+func TestShapeSAGMHelpsDDR12MoreThanDDR3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system shape test")
+	}
+	gain := func(gen dram.Generation) float64 {
+		base, err := system.Run(system.Config{
+			App: appmodel.BluRay(), Gen: gen, Design: system.GSS,
+			PriorityDemand: true, Cycles: 100_000, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sagm, err := system.Run(system.Config{
+			App: appmodel.BluRay(), Gen: gen, Design: system.GSSSAGM,
+			PriorityDemand: true, Cycles: 100_000, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return 1 - sagm.LatPriority/base.LatPriority
+	}
+	g2, g3 := gain(dram.DDR2), gain(dram.DDR3)
+	// The paper: DDR3's tCCD=4 makes it behave like BL8 regardless, so
+	// SAGM gains less there than on DDR1/2.
+	if g2 <= g3 {
+		t.Errorf("SAGM priority gain DDR2 (%.1f%%) should exceed DDR3 (%.1f%%)", 100*g2, 100*g3)
+	}
+}
+
+func TestShapeAreaAndPower(t *testing.T) {
+	rows := TableIV()
+	conv, ref4, ours := rows[0], rows[1], rows[2]
+	if !(ours.NoC3x3 < ref4.NoC3x3 && ref4.NoC3x3 < conv.NoC3x3) {
+		t.Errorf("area ordering broken: %d %d %d", conv.NoC3x3, ref4.NoC3x3, ours.NoC3x3)
+	}
+	if r := 1 - float64(ours.NoC3x3)/float64(conv.NoC3x3); r < 0.28 {
+		t.Errorf("area saving vs CONV %.1f%%, want ~33.8%%", 100*r)
+	}
+	if ours.MemorySubsystem >= conv.MemorySubsystem/3 {
+		t.Errorf("memory subsystem should shrink ~3.3x: %d vs %d", ours.MemorySubsystem, conv.MemorySubsystem)
+	}
+}

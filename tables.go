@@ -1,0 +1,235 @@
+package aanoc
+
+import (
+	"fmt"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/area"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+)
+
+// Row is one cell group of Tables I-III: an application at one clock
+// point, measured under one design.
+type Row struct {
+	App      string
+	Gen      int
+	ClockMHz int
+	Design   Design
+
+	Utilization float64
+	// UsefulUtilization excludes over-fetched (discarded) beats — the
+	// access-granularity waste of Fig. 2.
+	UsefulUtilization float64
+	LatencyAll        float64
+	LatencyDemand     float64
+	LatencyPriority   float64
+	Completed         int64
+	WasteFrac         float64
+}
+
+func rowFrom(res Result) Row {
+	return Row{
+		App: res.App, Gen: int(res.Gen), ClockMHz: res.ClockMHz, Design: res.Design,
+		Utilization:       res.Utilization,
+		UsefulUtilization: res.Utilization * (1 - res.WasteFrac),
+		LatencyAll:        res.LatAll,
+		LatencyDemand:     res.LatDemand,
+		LatencyPriority:   res.LatPriority,
+		Completed:         res.Completed,
+		WasteFrac:         res.WasteFrac,
+	}
+}
+
+// TableOptions control the table drivers.
+type TableOptions struct {
+	// Cycles per run (default 200,000; the paper uses 1,000,000).
+	Cycles int64
+	Seed   uint64
+}
+
+func (o TableOptions) cycles() int64 {
+	if o.Cycles == 0 {
+		return 200_000
+	}
+	return o.Cycles
+}
+
+// runMatrix evaluates the given designs over every application and DDR
+// generation at the paper's clock points.
+func runMatrix(designs []Design, priority bool, o TableOptions) ([]Row, error) {
+	var rows []Row
+	for _, app := range appmodel.Apps() {
+		for _, gen := range []dram.Generation{dram.DDR1, dram.DDR2, dram.DDR3} {
+			for _, d := range designs {
+				res, err := system.Run(system.Config{
+					App: app, Gen: gen, Design: d,
+					PriorityDemand: priority,
+					Cycles:         o.cycles(), Seed: o.Seed,
+				})
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, rowFrom(res))
+			}
+		}
+	}
+	return rows, nil
+}
+
+// TableI reproduces the paper's Table I: CONV, [4], GSS and GSS+SAGM on
+// the three applications and three DDR generations, with no priority
+// memory requests.
+func TableI(o TableOptions) ([]Row, error) {
+	return runMatrix([]Design{Conv, SDRAMAware, GSS, GSSSAGM}, false, o)
+}
+
+// TableII reproduces Table II: CONV+PFS, [4]+PFS, GSS and GSS+SAGM with
+// demand requests served as priority packets.
+func TableII(o TableOptions) ([]Row, error) {
+	return runMatrix([]Design{ConvPFS, SDRAMAwarePFS, GSS, GSSSAGM}, true, o)
+}
+
+// TableIII reproduces Table III: GSS+SAGM+STI against GSS+SAGM on DDR III
+// at the three high clock points, where short turn-around bank
+// interleaving matters.
+func TableIII(o TableOptions) ([]Row, error) {
+	var rows []Row
+	for _, app := range appmodel.Apps() {
+		for _, d := range []Design{GSSSAGM, GSSSAGMSTI} {
+			res, err := system.Run(system.Config{
+				App: app, Gen: dram.DDR3, Design: d,
+				PriorityDemand: true,
+				// The paper-literal partially-open-page policy (AP tag on
+				// every request) is the regime where short turn-around
+				// interleaving hurts and the STI filters help.
+				TagEveryRequest: true,
+				Cycles:          o.cycles(), Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, rowFrom(res))
+		}
+	}
+	return rows, nil
+}
+
+// Fig8Point is one point of the Fig. 8 sweep: k GSS routers substituted
+// for conventional routers, nearest the memory subsystem first.
+type Fig8Point struct {
+	GSSRouters      int
+	Utilization     float64
+	LatencyAll      float64
+	LatencyPriority float64
+}
+
+// Fig8 reproduces one curve of Fig. 8 for an application: memory
+// performance versus the number of GSS routers (0..mesh size). The paper
+// pairs single DTV with DDR I at 200 MHz, Blu-ray with DDR II at 333 MHz
+// and dual DTV with DDR III at 667 MHz; pass gen/clock accordingly.
+func Fig8(appName string, gen, clockMHz int, o TableOptions) ([]Fig8Point, error) {
+	app, err := appmodel.ByName(appName)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig8Point
+	for k := 0; k <= app.Width*app.Height; k++ {
+		n := k
+		if k == 0 {
+			n = -1 // zero GSS routers (0 in Config means "all")
+		}
+		res, err := system.Run(system.Config{
+			App: app, Gen: dram.Generation(gen), ClockMHz: clockMHz,
+			Design: GSSSAGM, GSSRouters: n,
+			PriorityDemand: true,
+			Cycles:         o.cycles(), Seed: o.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig8Point{
+			GSSRouters:      k,
+			Utilization:     res.Utilization,
+			LatencyAll:      res.LatAll,
+			LatencyPriority: res.LatPriority,
+		})
+	}
+	return out, nil
+}
+
+// AreaRow is one line of Table IV (gate counts at 400 MHz).
+type AreaRow = area.Table4Row
+
+// TableIV reproduces the paper's gate-count comparison.
+func TableIV() []AreaRow { return area.Table4() }
+
+// PowerRow is one line of Table V: average power of a full design running
+// an application at its clock point.
+type PowerRow struct {
+	App      string
+	ClockMHz int
+	Design   string
+	PowerMW  float64
+}
+
+// TableV reproduces the paper's power comparison: CONV, [4] and
+// GSS+SAGM+STI running single DTV at 200 MHz, Blu-ray at 400 MHz and dual
+// DTV at 800 MHz. Gate counts come from the Table IV model scaled to each
+// mesh; activity comes from simulation.
+func TableV(o TableOptions) ([]PowerRow, error) {
+	cases := []struct {
+		app   string
+		gen   int
+		clock int
+	}{
+		{"sdtv", 1, 200},
+		{"bluray", 2, 400},
+		{"ddtv", 3, 800},
+	}
+	designs := []struct {
+		d    Design
+		fc   area.FlowController
+		mem  area.MemSubsystem
+		gssN int
+	}{
+		{Conv, area.FCConv, area.MemMax, 0},
+		{SDRAMAware, area.FCRef4, area.MemSimple, 3},
+		{GSSSAGMSTI, area.FCGSSSTI, area.MemSimpleAP, 3},
+	}
+	var out []PowerRow
+	for _, c := range cases {
+		app, err := appmodel.ByName(c.app)
+		if err != nil {
+			return nil, err
+		}
+		for _, ds := range designs {
+			res, err := system.Run(system.Config{
+				App: app, Gen: dram.Generation(c.gen), ClockMHz: c.clock,
+				Design: ds.d, PriorityDemand: true,
+				Cycles: o.cycles(), Seed: o.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			gates := area.NoCGates(app.Width, app.Height, 16, ds.fc, ds.mem, ds.gssN)
+			out = append(out, PowerRow{
+				App: c.app, ClockMHz: c.clock, Design: ds.d.String(),
+				PowerMW: area.Power(gates, c.clock, res.Utilization),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatRows renders rows as an aligned text table, one line per row.
+func FormatRows(rows []Row) string {
+	s := fmt.Sprintf("%-8s %-4s %5s  %-14s %6s %7s %8s %8s %8s %7s\n",
+		"app", "gen", "MHz", "design", "util", "useful", "lat-all", "lat-dem", "lat-pri", "waste")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-8s DDR%d %5d  %-14s %.3f  %.3f %8.0f %8.0f %8.0f %6.1f%%\n",
+			r.App, r.Gen, r.ClockMHz, r.Design, r.Utilization, r.UsefulUtilization,
+			r.LatencyAll, r.LatencyDemand, r.LatencyPriority, 100*r.WasteFrac)
+	}
+	return s
+}
