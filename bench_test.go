@@ -292,6 +292,40 @@ func BenchmarkAblationRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkFormatRows measures table rendering at report scale (every
+// driver's rows in one call). The strings.Builder implementation is
+// linear; the CI bench smoke step keeps it from regressing to the old
+// quadratic concatenation.
+func BenchmarkFormatRows(b *testing.B) {
+	rows := make([]Row, 1024)
+	for i := range rows {
+		rows[i] = Row{
+			App: "bluray", Gen: 2, ClockMHz: 333, Design: GSSSAGM,
+			Utilization: 0.85, UsefulUtilization: 0.78,
+			LatencyAll: 500, LatencyDemand: 300, LatencyPriority: 120,
+			Completed: int64(i), WasteFrac: 0.08,
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = FormatRows(rows)
+	}
+	b.ReportMetric(float64(len(out)), "bytes")
+}
+
+// BenchmarkTableIParallel measures the Table I grid through the sweep
+// executor at full parallelism against the serial baseline
+// (BenchmarkTableI covers per-point cost; this covers the fan-out).
+func BenchmarkTableIParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := TableI(TableOptions{Cycles: benchCycles / 4, Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (cycles per
 // second) on the largest configuration — a capacity check, not a paper
 // figure.

@@ -9,17 +9,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"aanoc"
 )
 
 func main() {
 	var (
-		cycles = flag.Int64("cycles", 120_000, "simulated cycles per point")
-		seed   = flag.Uint64("seed", 0, "RNG seed")
+		cycles   = flag.Int64("cycles", 120_000, "simulated cycles per point")
+		seed     = flag.Uint64("seed", 0, "RNG seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
-	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed}
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
 	curves := []struct {
 		app   string
 		gen   int

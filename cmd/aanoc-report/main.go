@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"aanoc"
 	"aanoc/internal/paperdata"
@@ -18,11 +19,12 @@ import (
 
 func main() {
 	var (
-		cycles = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
-		seed   = flag.Uint64("seed", 0, "RNG seed")
+		cycles   = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
+		seed     = flag.Uint64("seed", 0, "RNG seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
-	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed}
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
 
 	fmt.Printf("# Paper vs. measured (%d cycles per run)\n\n", *cycles)
 	fmt.Println("Latencies are in memory-clock cycles. `paper` columns are the")

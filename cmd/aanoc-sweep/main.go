@@ -1,12 +1,14 @@
 // Command aanoc-sweep runs ablation grids over the design parameters the
 // paper (and DESIGN.md) call out — the PCT hybrid setting, the SAGM split
 // granularity, the page policy, and the number of GSS routers — and
-// emits CSV for plotting.
+// emits CSV for plotting. Grid points fan out across -parallel workers;
+// rows are emitted in grid order regardless of completion order, so the
+// CSV is byte-identical at any worker count.
 //
 //	aanoc-sweep -sweep pct -app bluray -gen 2 > pct.csv
 //	aanoc-sweep -sweep granularity -gen 2
 //	aanoc-sweep -sweep pagepolicy -gen 2
-//	aanoc-sweep -sweep gss-routers -app sdtv -gen 1
+//	aanoc-sweep -sweep gss-routers -app sdtv -gen 1 -parallel 8
 package main
 
 import (
@@ -14,22 +16,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
 	"aanoc/internal/memctrl"
+	"aanoc/internal/sweep"
 	"aanoc/internal/system"
 )
 
 func main() {
 	var (
-		sweep    = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers")
-		appName  = flag.String("app", "bluray", "application model")
-		gen      = flag.Int("gen", 2, "DDR generation")
-		cycles   = flag.Int64("cycles", 120_000, "simulated cycles per point")
-		seed     = flag.Uint64("seed", 0, "RNG seed")
-		priority = flag.Bool("priority", true, "serve demand requests as priority packets")
+		sweepName = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers")
+		appName   = flag.String("app", "bluray", "application model")
+		gen       = flag.Int("gen", 2, "DDR generation")
+		cycles    = flag.Int64("cycles", 120_000, "simulated cycles per point")
+		seed      = flag.Uint64("seed", 0, "RNG seed")
+		priority  = flag.Bool("priority", true, "serve demand requests as priority packets")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 	)
 	flag.Parse()
 	app, err := appmodel.ByName(*appName)
@@ -40,19 +45,66 @@ func main() {
 		App: app, Gen: dram.Generation(*gen),
 		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
 	}
+
+	// Build the grid: one label + config per point, in emission order.
+	var points []string
+	var cfgs []system.Config
+	add := func(point string, cfg system.Config) {
+		points = append(points, point)
+		cfgs = append(cfgs, cfg)
+	}
+	switch *sweepName {
+	case "pct":
+		for pct := 1; pct <= 5; pct++ {
+			cfg := base
+			cfg.Design = system.GSS
+			cfg.PCT = pct
+			add(fmt.Sprintf("pct=%d", pct), cfg)
+		}
+	case "granularity":
+		for _, g := range []int{2, 4, 8, 16, 32} {
+			cfg := base
+			cfg.Design = system.GSSSAGM
+			cfg.SplitGranularity = g
+			add(fmt.Sprintf("beats=%d", g), cfg)
+		}
+	case "pagepolicy":
+		for _, p := range []memctrl.PagePolicy{memctrl.OpenPage, memctrl.PartialOpenPage, memctrl.ClosedPage} {
+			cfg := base
+			cfg.Design = system.GSSSAGM
+			policy := p
+			cfg.PagePolicy = &policy
+			add(p.String(), cfg)
+		}
+	case "gss-routers":
+		max := app.Width * app.Height
+		for k := 0; k <= max; k++ {
+			cfg := base
+			cfg.Design = system.GSSSAGM
+			cfg.GSSRouters = k
+			if k == 0 {
+				cfg.GSSRouters = -1
+			}
+			add(fmt.Sprintf("k=%d", k), cfg)
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep %q", *sweepName))
+	}
+
+	results, err := sweep.Collect(cfgs, sweep.Options{Workers: *parallel})
+	if err != nil {
+		fatal(err)
+	}
+
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
 	head := []string{"point", "util", "useful_util", "lat_all", "lat_priority", "lat_best", "waste_frac", "completed"}
 	if err := w.Write(head); err != nil {
 		fatal(err)
 	}
-	emit := func(point string, cfg system.Config) {
-		res, err := system.Run(cfg)
-		if err != nil {
-			fatal(err)
-		}
+	for i, res := range results {
 		rec := []string{
-			point,
+			points[i],
 			fmt.Sprintf("%.4f", res.Utilization),
 			fmt.Sprintf("%.4f", res.Utilization*(1-res.WasteFrac)),
 			fmt.Sprintf("%.1f", res.LatAll),
@@ -64,44 +116,6 @@ func main() {
 		if err := w.Write(rec); err != nil {
 			fatal(err)
 		}
-	}
-
-	switch *sweep {
-	case "pct":
-		for pct := 1; pct <= 5; pct++ {
-			cfg := base
-			cfg.Design = system.GSS
-			cfg.PCT = pct
-			emit(fmt.Sprintf("pct=%d", pct), cfg)
-		}
-	case "granularity":
-		for _, g := range []int{2, 4, 8, 16, 32} {
-			cfg := base
-			cfg.Design = system.GSSSAGM
-			cfg.SplitGranularity = g
-			emit(fmt.Sprintf("beats=%d", g), cfg)
-		}
-	case "pagepolicy":
-		for _, p := range []memctrl.PagePolicy{memctrl.OpenPage, memctrl.PartialOpenPage, memctrl.ClosedPage} {
-			cfg := base
-			cfg.Design = system.GSSSAGM
-			policy := p
-			cfg.PagePolicy = &policy
-			emit(p.String(), cfg)
-		}
-	case "gss-routers":
-		max := app.Width * app.Height
-		for k := 0; k <= max; k++ {
-			cfg := base
-			cfg.Design = system.GSSSAGM
-			cfg.GSSRouters = k
-			if k == 0 {
-				cfg.GSSRouters = -1
-			}
-			emit(fmt.Sprintf("k=%d", k), cfg)
-		}
-	default:
-		fatal(fmt.Errorf("unknown sweep %q", *sweep))
 	}
 }
 

@@ -12,18 +12,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"aanoc"
 )
 
 func main() {
 	var (
-		table  = flag.String("table", "all", "which table to print: 1, 2, 3 or all")
-		cycles = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
-		seed   = flag.Uint64("seed", 0, "RNG seed")
+		table    = flag.String("table", "all", "which table to print: 1, 2, 3 or all")
+		cycles   = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
+		seed     = flag.Uint64("seed", 0, "RNG seed")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
+		progress = flag.Bool("progress", false, "report per-grid progress on stderr")
 	)
 	flag.Parse()
-	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed}
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
+	if *progress {
+		o.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 
 	type driver struct {
 		name string

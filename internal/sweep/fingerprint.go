@@ -1,0 +1,54 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+)
+
+// Fingerprint returns a canonical hash of the fully resolved
+// configuration, and whether the configuration is cacheable at all.
+// Two configs that resolve to the same simulation — e.g. one spelling a
+// default explicitly (Cycles: 200000) and one leaving it zero — share a
+// fingerprint, so a grid that revisits a point simulates it once.
+//
+// A config carrying a trace-capture Writer is not cacheable: capture is
+// a side effect that must happen per run (and the writer is identity,
+// not value). Everything else in system.Config is pure input.
+func Fingerprint(cfg system.Config) (string, bool) {
+	if cfg.Trace != nil {
+		return "", false
+	}
+	c := cfg.Resolved()
+	h := sha256.New()
+	// The application model: maps iterate in random order, so Clocks is
+	// walked by generation; cores and streams are slices and keep their
+	// declaration order.
+	fmt.Fprintf(h, "app=%s/%dx%d/mem%+v|", c.App.Name, c.App.Width, c.App.Height, c.App.MemAt)
+	for gen := dram.DDR1; gen <= dram.DDR3; gen++ {
+		fmt.Fprintf(h, "clk%d=%d|", gen, c.App.Clocks[gen])
+	}
+	for _, core := range c.App.Cores {
+		fmt.Fprintf(h, "core=%s@%+v|", core.Name, core.Pos)
+		for _, s := range core.Streams {
+			fmt.Fprintf(h, "stream=%+v|", s)
+		}
+	}
+	fmt.Fprintf(h,
+		"gen=%d clk=%d design=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t|",
+		c.Gen, c.ClockMHz, c.Design, c.PCT, c.GSSRouters, c.PriorityDemand,
+		c.Cycles, c.Warmup, c.Seed, c.BufFlits, c.VirtualChannels,
+		c.AdaptiveRouting, c.InjectCap, c.MemPipeline, c.SplitGranularity,
+		c.TagEveryRequest)
+	if c.PagePolicy != nil {
+		fmt.Fprintf(h, "page=%d|", *c.PagePolicy)
+	}
+	fmt.Fprintf(h, "replay=%d|", len(c.Replay))
+	for _, rec := range c.Replay {
+		fmt.Fprintf(h, "rec=%+v|", rec)
+	}
+	return hex.EncodeToString(h.Sum(nil)), true
+}

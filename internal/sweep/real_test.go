@@ -1,0 +1,96 @@
+package sweep
+
+// Real-simulation tests: these execute genuine system.Run grids under
+// the executor and are what the CI race job (`go test -race
+// ./internal/sweep/...`) leans on — concurrent full-system simulations
+// are exactly where a shared-state bug in any substrate would surface.
+// AANOC_TEST_CYCLES shortens each run so the race detector's ~10x
+// slowdown still finishes in minutes.
+
+import (
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+)
+
+// testCycles returns the per-run simulated length: AANOC_TEST_CYCLES
+// when set (the CI race job sets it low), def otherwise.
+func testCycles(def int64) int64 {
+	if s := os.Getenv("AANOC_TEST_CYCLES"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+// realGrid is a small but heterogeneous slice of the evaluation space:
+// every app, both memory subsystems, GSS with and without SAGM.
+func realGrid(t testing.TB) []system.Config {
+	cycles := testCycles(2500)
+	var cfgs []system.Config
+	for _, app := range appmodel.Apps() {
+		for _, d := range []system.Design{system.Conv, system.SDRAMAware, system.GSSSAGM} {
+			cfgs = append(cfgs, system.Config{
+				App: app, Gen: dram.DDR2, Design: d,
+				PriorityDemand: true, Cycles: cycles, Seed: 42,
+			})
+		}
+	}
+	return cfgs
+}
+
+// TestParallelMatchesSerial is the package's key correctness property:
+// fanning a grid across workers yields exactly the serial results —
+// same values, same order.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfgs := realGrid(t)
+	serial, _ := Run(cfgs, Options{Workers: 1})
+	for _, workers := range []int{2, 4} {
+		parallel, _ := Run(cfgs, Options{Workers: workers})
+		if len(parallel) != len(serial) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if serial[i].Err != nil || parallel[i].Err != nil {
+				t.Fatalf("point %d errored: %v / %v", i, serial[i].Err, parallel[i].Err)
+			}
+			if !reflect.DeepEqual(serial[i].Res, parallel[i].Res) {
+				t.Fatalf("workers=%d: point %d diverged from serial:\nserial:   %+v\nparallel: %+v",
+					workers, i, serial[i].Res, parallel[i].Res)
+			}
+		}
+	}
+}
+
+// TestConcurrentRunsIndependent drives many simultaneous copies of the
+// same configuration; under -race this flushes out any mutable state
+// shared between Runner instances.
+func TestConcurrentRunsIndependent(t *testing.T) {
+	cfg := system.Config{
+		App: appmodel.DualDTV(), Gen: dram.DDR3, Design: system.GSSSAGMSTI,
+		PriorityDemand: true, Cycles: testCycles(2000), Seed: 7,
+	}
+	cfgs := make([]system.Config, 8)
+	for i := range cfgs {
+		cfgs[i] = cfg
+	}
+	// DisableCache so every point really simulates, concurrently.
+	results, st := Run(cfgs, Options{Workers: 8, DisableCache: true})
+	if st.Runs != len(cfgs) {
+		t.Fatalf("stats = %+v, want %d uncached runs", st, len(cfgs))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Err != nil {
+			t.Fatal(results[i].Err)
+		}
+		if !reflect.DeepEqual(results[0].Res, results[i].Res) {
+			t.Fatalf("identical configs diverged at copy %d", i)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+package sweep
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+	"aanoc/internal/trace"
+)
+
+// grid builds n distinct configurations (distinct seeds, so no two
+// share a fingerprint).
+func grid(n int) []system.Config {
+	cfgs := make([]system.Config, n)
+	for i := range cfgs {
+		cfgs[i] = system.Config{
+			App: appmodel.BluRay(), Gen: dram.DDR2,
+			Design: system.GSSSAGM, Cycles: 1000, Seed: uint64(i + 1),
+		}
+	}
+	return cfgs
+}
+
+// markedRun is a fake RunFunc that tags each result with its config's
+// seed, so tests can check results landed at the right index.
+func markedRun(cfg system.Config) (system.Result, error) {
+	return system.Result{Completed: int64(cfg.Seed)}, nil
+}
+
+func TestEmptyGrid(t *testing.T) {
+	results, st := Run(nil, Options{RunFunc: markedRun})
+	if len(results) != 0 {
+		t.Fatalf("empty grid returned %d results", len(results))
+	}
+	if st.Runs != 0 || st.CacheHits != 0 {
+		t.Fatalf("empty grid accounted work: %+v", st)
+	}
+	if _, err := Collect(nil, Options{RunFunc: markedRun}); err != nil {
+		t.Fatalf("Collect(empty) = %v", err)
+	}
+}
+
+func TestSingleWorkerRunsInSubmissionOrder(t *testing.T) {
+	var order []uint64
+	cfgs := grid(8)
+	results, st := Run(cfgs, Options{
+		Workers: 1,
+		RunFunc: func(cfg system.Config) (system.Result, error) {
+			order = append(order, cfg.Seed) // safe: serial mode
+			return markedRun(cfg)
+		},
+	})
+	if st.Workers != 1 || st.Runs != 8 {
+		t.Fatalf("stats = %+v, want 1 worker / 8 runs", st)
+	}
+	for i, seed := range order {
+		if seed != uint64(i+1) {
+			t.Fatalf("serial execution order %v, want submission order", order)
+		}
+	}
+	for i, r := range results {
+		if r.Index != i || r.Res.Completed != int64(i+1) {
+			t.Fatalf("result %d = %+v, want index/marker %d", i, r, i+1)
+		}
+	}
+}
+
+func TestWorkerCountExceedsGridSize(t *testing.T) {
+	cfgs := grid(3)
+	results, st := Run(cfgs, Options{Workers: 64, RunFunc: markedRun})
+	if st.Workers != 3 {
+		t.Fatalf("workers resolved to %d, want clamp to grid size 3", st.Workers)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Res.Completed != int64(i+1) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestResultsKeyedBySubmissionIndex(t *testing.T) {
+	// Early submissions finish last: completion order is the reverse of
+	// submission order, but results must still land at their indices.
+	cfgs := grid(6)
+	results, _ := Run(cfgs, Options{
+		Workers: 6,
+		RunFunc: func(cfg system.Config) (system.Result, error) {
+			time.Sleep(time.Duration(7-cfg.Seed) * 5 * time.Millisecond)
+			return markedRun(cfg)
+		},
+	})
+	for i, r := range results {
+		if r.Index != i || r.Res.Completed != int64(i+1) {
+			t.Fatalf("result %d = %+v, want marker %d", i, r, i+1)
+		}
+	}
+}
+
+func TestErrorMidGridKeepsRemainingOrdered(t *testing.T) {
+	cfgs := grid(5)
+	boom := errors.New("boom")
+	results, st := Run(cfgs, Options{
+		Workers: 2,
+		RunFunc: func(cfg system.Config) (system.Result, error) {
+			if cfg.Seed == 3 {
+				return system.Result{}, boom
+			}
+			return markedRun(cfg)
+		},
+	})
+	if st.Runs != 5 {
+		t.Fatalf("error aborted the grid: %+v", st)
+	}
+	for i, r := range results {
+		if i == 2 {
+			if !errors.Is(r.Err, boom) {
+				t.Fatalf("point 2 error = %v, want boom", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Res.Completed != int64(i+1) {
+			t.Fatalf("point %d = %+v, want marker %d", i, r, i+1)
+		}
+	}
+	err := FirstErr(results)
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "point 2") {
+		t.Fatalf("FirstErr = %v, want wrapped boom at point 2", err)
+	}
+	if _, err := Collect(cfgs, Options{Workers: 2, RunFunc: func(cfg system.Config) (system.Result, error) {
+		if cfg.Seed == 3 {
+			return system.Result{}, boom
+		}
+		return markedRun(cfg)
+	}}); !errors.Is(err, boom) {
+		t.Fatalf("Collect error = %v, want boom", err)
+	}
+}
+
+func TestPanicBecomesPointError(t *testing.T) {
+	cfgs := grid(4)
+	results, _ := Run(cfgs, Options{
+		Workers: 2,
+		RunFunc: func(cfg system.Config) (system.Result, error) {
+			if cfg.Seed == 2 {
+				panic("splitter exploded")
+			}
+			return markedRun(cfg)
+		},
+	})
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "splitter exploded") {
+		t.Fatalf("panic not captured: %+v", results[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if results[i].Err != nil {
+			t.Fatalf("panic leaked into point %d: %v", i, results[i].Err)
+		}
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	// Three distinct fingerprints; the first repeated four times, the
+	// second twice, interleaved — six hits over nine points.
+	base := grid(3)
+	cfgs := []system.Config{
+		base[0], base[1], base[0], base[2], base[0],
+		base[1], base[0], base[0], base[0],
+	}
+	wantHits := len(cfgs) - 3
+	for _, workers := range []int{1, 4} {
+		var executed int64
+		results, st := Run(cfgs, Options{
+			Workers: workers,
+			RunFunc: func(cfg system.Config) (system.Result, error) {
+				atomic.AddInt64(&executed, 1)
+				return markedRun(cfg)
+			},
+		})
+		if executed != 3 {
+			t.Fatalf("workers=%d: %d simulations executed, want 3", workers, executed)
+		}
+		if st.Runs != 3 || st.CacheHits != wantHits {
+			t.Fatalf("workers=%d: stats %+v, want 3 runs / %d hits", workers, st, wantHits)
+		}
+		var cached int
+		for i, r := range results {
+			if r.Res.Completed != int64(cfgs[i].Seed) {
+				t.Fatalf("workers=%d: point %d served wrong result %+v", workers, i, r)
+			}
+			if r.Cached {
+				cached++
+			}
+		}
+		if cached != wantHits {
+			t.Fatalf("workers=%d: %d results flagged cached, want %d", workers, cached, wantHits)
+		}
+	}
+}
+
+func TestDisableCacheRunsEveryPoint(t *testing.T) {
+	base := grid(1)
+	cfgs := []system.Config{base[0], base[0], base[0]}
+	var executed int64
+	_, st := Run(cfgs, Options{
+		Workers:      2,
+		DisableCache: true,
+		RunFunc: func(cfg system.Config) (system.Result, error) {
+			atomic.AddInt64(&executed, 1)
+			return markedRun(cfg)
+		},
+	})
+	if executed != 3 || st.Runs != 3 || st.CacheHits != 0 {
+		t.Fatalf("DisableCache: executed=%d stats=%+v, want 3 runs", executed, st)
+	}
+}
+
+func TestCachedErrorPropagatesToDuplicates(t *testing.T) {
+	base := grid(1)
+	cfgs := []system.Config{base[0], base[0]}
+	boom := errors.New("boom")
+	results, st := Run(cfgs, Options{
+		Workers: 1,
+		RunFunc: func(system.Config) (system.Result, error) { return system.Result{}, boom },
+	})
+	if st.Runs != 1 || st.CacheHits != 1 {
+		t.Fatalf("stats = %+v, want the failure cached", st)
+	}
+	if !errors.Is(results[0].Err, boom) || !errors.Is(results[1].Err, boom) {
+		t.Fatalf("cached error lost: %v / %v", results[0].Err, results[1].Err)
+	}
+}
+
+func TestProgressSerialisedAndComplete(t *testing.T) {
+	cfgs := grid(10)
+	var calls [][2]int
+	_, _ = Run(cfgs, Options{
+		Workers: 4,
+		RunFunc: markedRun,
+		OnProgress: func(done, total int) {
+			calls = append(calls, [2]int{done, total}) // safe: serialised under the executor lock
+		},
+	})
+	if len(calls) != 10 {
+		t.Fatalf("%d progress calls, want 10", len(calls))
+	}
+	for i, c := range calls {
+		if c[0] != i+1 || c[1] != 10 {
+			t.Fatalf("progress call %d = %v, want (%d, 10)", i, c, i+1)
+		}
+	}
+}
+
+func TestFingerprintCanonicalises(t *testing.T) {
+	implicit := system.Config{App: appmodel.BluRay(), Gen: dram.DDR2, Design: system.GSSSAGM}
+	explicit := implicit
+	explicit.Cycles = 200_000
+	explicit.PCT = 3
+	explicit.Seed = 0xA11CE
+	fa, ok := Fingerprint(implicit)
+	if !ok {
+		t.Fatal("plain config not cacheable")
+	}
+	fb, _ := Fingerprint(explicit)
+	if fa != fb {
+		t.Fatal("defaulted and explicit spellings of one run fingerprint differently")
+	}
+	for name, mutate := range map[string]func(*system.Config){
+		"seed":   func(c *system.Config) { c.Seed = 7 },
+		"design": func(c *system.Config) { c.Design = system.Conv },
+		"cycles": func(c *system.Config) { c.Cycles = 100 },
+		"app":    func(c *system.Config) { c.App = appmodel.SingleDTV() },
+		"clock":  func(c *system.Config) { c.ClockMHz = 999 },
+	} {
+		other := implicit
+		mutate(&other)
+		if fo, _ := Fingerprint(other); fo == fa {
+			t.Fatalf("changing %s did not change the fingerprint", name)
+		}
+	}
+}
+
+func TestFingerprintTraceCaptureNotCacheable(t *testing.T) {
+	cfg := grid(1)[0]
+	cfg.Trace = &trace.Writer{}
+	if _, ok := Fingerprint(cfg); ok {
+		t.Fatal("trace-capture config must not be cacheable")
+	}
+}

@@ -122,6 +122,12 @@ type Result struct {
 	Fairness float64
 }
 
+// Resolved returns the configuration with every defaulted field filled
+// in — the exact parameters a run would execute. Sweep fingerprinting
+// keys on the resolved form so distinct spellings of the same run (a
+// zero field versus its default written out) share one cache entry.
+func (c Config) Resolved() Config { return c.withDefaults() }
+
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
 	if c.ClockMHz == 0 {

@@ -2,10 +2,12 @@ package aanoc
 
 import (
 	"fmt"
+	"strings"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/area"
 	"aanoc/internal/dram"
+	"aanoc/internal/sweep"
 	"aanoc/internal/system"
 )
 
@@ -46,6 +48,14 @@ type TableOptions struct {
 	// Cycles per run (default 200,000; the paper uses 1,000,000).
 	Cycles int64
 	Seed   uint64
+	// Parallel bounds how many grid points simulate concurrently:
+	// 0 selects runtime.GOMAXPROCS(0), 1 runs strictly serially. Every
+	// run is deterministic and independent, so the results — and the
+	// formatted tables — are byte-identical at any setting.
+	Parallel int
+	// Progress, when non-nil, is called after each grid point completes
+	// with the number done and the grid size (serialised, not ordered).
+	Progress func(done, total int)
 }
 
 func (o TableOptions) cycles() int64 {
@@ -55,26 +65,40 @@ func (o TableOptions) cycles() int64 {
 	return o.Cycles
 }
 
+func (o TableOptions) sweepOptions() sweep.Options {
+	return sweep.Options{Workers: o.Parallel, OnProgress: o.Progress}
+}
+
+// runGrid fans the configurations across the sweep executor and maps
+// the results, in submission order, to table rows.
+func runGrid(cfgs []system.Config, o TableOptions) ([]Row, error) {
+	results, err := sweep.Collect(cfgs, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(results))
+	for i, res := range results {
+		rows[i] = rowFrom(res)
+	}
+	return rows, nil
+}
+
 // runMatrix evaluates the given designs over every application and DDR
 // generation at the paper's clock points.
 func runMatrix(designs []Design, priority bool, o TableOptions) ([]Row, error) {
-	var rows []Row
+	var cfgs []system.Config
 	for _, app := range appmodel.Apps() {
 		for _, gen := range []dram.Generation{dram.DDR1, dram.DDR2, dram.DDR3} {
 			for _, d := range designs {
-				res, err := system.Run(system.Config{
+				cfgs = append(cfgs, system.Config{
 					App: app, Gen: gen, Design: d,
 					PriorityDemand: priority,
 					Cycles:         o.cycles(), Seed: o.Seed,
 				})
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, rowFrom(res))
 			}
 		}
 	}
-	return rows, nil
+	return runGrid(cfgs, o)
 }
 
 // TableI reproduces the paper's Table I: CONV, [4], GSS and GSS+SAGM on
@@ -94,10 +118,10 @@ func TableII(o TableOptions) ([]Row, error) {
 // at the three high clock points, where short turn-around bank
 // interleaving matters.
 func TableIII(o TableOptions) ([]Row, error) {
-	var rows []Row
+	var cfgs []system.Config
 	for _, app := range appmodel.Apps() {
 		for _, d := range []Design{GSSSAGM, GSSSAGMSTI} {
-			res, err := system.Run(system.Config{
+			cfgs = append(cfgs, system.Config{
 				App: app, Gen: dram.DDR3, Design: d,
 				PriorityDemand: true,
 				// The paper-literal partially-open-page policy (AP tag on
@@ -106,13 +130,9 @@ func TableIII(o TableOptions) ([]Row, error) {
 				TagEveryRequest: true,
 				Cycles:          o.cycles(), Seed: o.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, rowFrom(res))
 		}
 	}
-	return rows, nil
+	return runGrid(cfgs, o)
 }
 
 // Fig8Point is one point of the Fig. 8 sweep: k GSS routers substituted
@@ -133,27 +153,31 @@ func Fig8(appName string, gen, clockMHz int, o TableOptions) ([]Fig8Point, error
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig8Point
+	var cfgs []system.Config
 	for k := 0; k <= app.Width*app.Height; k++ {
 		n := k
 		if k == 0 {
 			n = -1 // zero GSS routers (0 in Config means "all")
 		}
-		res, err := system.Run(system.Config{
+		cfgs = append(cfgs, system.Config{
 			App: app, Gen: dram.Generation(gen), ClockMHz: clockMHz,
 			Design: GSSSAGM, GSSRouters: n,
 			PriorityDemand: true,
 			Cycles:         o.cycles(), Seed: o.Seed,
 		})
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Fig8Point{
+	}
+	results, err := sweep.Collect(cfgs, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig8Point, len(results))
+	for k, res := range results {
+		out[k] = Fig8Point{
 			GSSRouters:      k,
 			Utilization:     res.Utilization,
 			LatencyAll:      res.LatAll,
 			LatencyPriority: res.LatPriority,
-		})
+		}
 	}
 	return out, nil
 }
@@ -197,26 +221,45 @@ func TableV(o TableOptions) ([]PowerRow, error) {
 		{SDRAMAware, area.FCRef4, area.MemSimple, 3},
 		{GSSSAGMSTI, area.FCGSSSTI, area.MemSimpleAP, 3},
 	}
-	var out []PowerRow
+	// The grid and, aligned by index, the per-point power-model inputs.
+	type powerMeta struct {
+		app   appmodel.App
+		clock int
+		fc    area.FlowController
+		mem   area.MemSubsystem
+		gssN  int
+		name  string
+	}
+	var cfgs []system.Config
+	var meta []powerMeta
 	for _, c := range cases {
 		app, err := appmodel.ByName(c.app)
 		if err != nil {
 			return nil, err
 		}
 		for _, ds := range designs {
-			res, err := system.Run(system.Config{
+			cfgs = append(cfgs, system.Config{
 				App: app, Gen: dram.Generation(c.gen), ClockMHz: c.clock,
 				Design: ds.d, PriorityDemand: true,
 				Cycles: o.cycles(), Seed: o.Seed,
 			})
-			if err != nil {
-				return nil, err
-			}
-			gates := area.NoCGates(app.Width, app.Height, 16, ds.fc, ds.mem, ds.gssN)
-			out = append(out, PowerRow{
-				App: c.app, ClockMHz: c.clock, Design: ds.d.String(),
-				PowerMW: area.Power(gates, c.clock, res.Utilization),
+			meta = append(meta, powerMeta{
+				app: app, clock: c.clock,
+				fc: ds.fc, mem: ds.mem, gssN: ds.gssN, name: ds.d.String(),
 			})
+		}
+	}
+	results, err := sweep.Collect(cfgs, o.sweepOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PowerRow, len(results))
+	for i, res := range results {
+		m := meta[i]
+		gates := area.NoCGates(m.app.Width, m.app.Height, 16, m.fc, m.mem, m.gssN)
+		out[i] = PowerRow{
+			App: m.app.Name, ClockMHz: m.clock, Design: m.name,
+			PowerMW: area.Power(gates, m.clock, res.Utilization),
 		}
 	}
 	return out, nil
@@ -224,12 +267,14 @@ func TableV(o TableOptions) ([]PowerRow, error) {
 
 // FormatRows renders rows as an aligned text table, one line per row.
 func FormatRows(rows []Row) string {
-	s := fmt.Sprintf("%-8s %-4s %5s  %-14s %6s %7s %8s %8s %8s %7s\n",
+	var b strings.Builder
+	b.Grow(96 * (len(rows) + 1))
+	fmt.Fprintf(&b, "%-8s %-4s %5s  %-14s %6s %7s %8s %8s %8s %7s\n",
 		"app", "gen", "MHz", "design", "util", "useful", "lat-all", "lat-dem", "lat-pri", "waste")
 	for _, r := range rows {
-		s += fmt.Sprintf("%-8s DDR%d %5d  %-14s %.3f  %.3f %8.0f %8.0f %8.0f %6.1f%%\n",
+		fmt.Fprintf(&b, "%-8s DDR%d %5d  %-14s %.3f  %.3f %8.0f %8.0f %8.0f %6.1f%%\n",
 			r.App, r.Gen, r.ClockMHz, r.Design, r.Utilization, r.UsefulUtilization,
 			r.LatencyAll, r.LatencyDemand, r.LatencyPriority, 100*r.WasteFrac)
 	}
-	return s
+	return b.String()
 }
