@@ -5,9 +5,15 @@
 // this tool's output plus hand-written analysis.
 //
 //	aanoc-report -cycles 200000 > report.md
+//	aanoc-report -json rows.json > report.md   # machine-readable sidecar
+//
+// -json writes the measured rows behind Tables I-III — headline metrics
+// plus the per-run observability reports (internal/obs) — to a file; the
+// markdown on stdout is byte-identical with or without it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +28,7 @@ func main() {
 		cycles   = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
 		seed     = flag.Uint64("seed", 0, "RNG seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
+		jsonOut  = flag.String("json", "", "also write the Table I-III rows (with per-run obs reports) as JSON to this file")
 	)
 	flag.Parse()
 	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
@@ -34,14 +41,16 @@ func main() {
 	fmt.Println("paper's; the comparisons that matter are the per-design ratios.")
 	fmt.Println()
 
-	if err := tableI(o); err != nil {
-		fail(err)
-	}
-	if err := tableII(o); err != nil {
-		fail(err)
-	}
-	if err := tableIII(o); err != nil {
-		fail(err)
+	sidecar := map[string][]aanoc.Row{}
+	for _, tbl := range []struct {
+		key string
+		run func(aanoc.TableOptions) ([]aanoc.Row, error)
+	}{{"table1", tableI}, {"table2", tableII}, {"table3", tableIII}} {
+		rows, err := tbl.run(o)
+		if err != nil {
+			fail(err)
+		}
+		sidecar[tbl.key] = rows
 	}
 	if err := fig8(o); err != nil {
 		fail(err)
@@ -49,6 +58,15 @@ func main() {
 	tableIV()
 	if err := tableV(o); err != nil {
 		fail(err)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sidecar, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
 	}
 }
 
@@ -117,28 +135,28 @@ func comparisonTable(title string, entries []paperdata.Entry, designs [4]string,
 	fmt.Println()
 }
 
-func tableI(o aanoc.TableOptions) error {
+func tableI(o aanoc.TableOptions) ([]aanoc.Row, error) {
 	rows, err := aanoc.TableI(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	comparisonTable("Table I — no priority memory requests", paperdata.TableI, paperdata.TableIDesigns, rows, "lat-dem")
-	return nil
+	return rows, nil
 }
 
-func tableII(o aanoc.TableOptions) error {
+func tableII(o aanoc.TableOptions) ([]aanoc.Row, error) {
 	rows, err := aanoc.TableII(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	comparisonTable("Table II — priority memory requests", paperdata.TableII, paperdata.TableIIDesigns, rows, "lat-pri")
-	return nil
+	return rows, nil
 }
 
-func tableIII(o aanoc.TableOptions) error {
+func tableIII(o aanoc.TableOptions) ([]aanoc.Row, error) {
 	rows, err := aanoc.TableIII(o)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("## Table III — GSS+SAGM+STI vs GSS+SAGM (DDR3, tag-every-request)")
 	fmt.Println()
@@ -153,7 +171,7 @@ func tableIII(o aanoc.TableOptions) error {
 			100*p.LatPriImp, 100*(1-sti.LatencyPriority/base.LatencyPriority))
 	}
 	fmt.Println()
-	return nil
+	return rows, nil
 }
 
 func fig8(o aanoc.TableOptions) error {

@@ -8,15 +8,19 @@
 //	aanoc-sim -app bluray -gen 2 -design GSS+SAGM -cycles 500000
 //	aanoc-sim -app ddtv -gen 3 -design CONV -priority
 //	aanoc-sim -all -gen 2 -priority          # all designs, one app
+//	aanoc-sim -json report.json -sample-every 1000
+//	aanoc-sim -json - | jq .stalled          # report to stdout, no table
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/obs"
 	"aanoc/internal/system"
 )
 
@@ -33,6 +37,8 @@ func main() {
 		priority = flag.Bool("priority", false, "serve CPU demand requests as priority packets (Table II mode)")
 		all      = flag.Bool("all", false, "run every design on the selected app/generation")
 		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
+		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
+		sample   = flag.Int64("sample-every", 0, "record a time-series sample every N cycles in the report (0: off)")
 	)
 	flag.Parse()
 
@@ -44,6 +50,7 @@ func main() {
 		App: app, Gen: dram.Generation(*gen), ClockMHz: *clock,
 		Cycles: *cycles, Seed: *seed, PCT: *pct,
 		GSSRouters: *gssN, PriorityDemand: *priority,
+		SampleEvery: *sample,
 	}
 	designs := []system.Design{}
 	if *all {
@@ -55,14 +62,24 @@ func main() {
 		}
 		designs = append(designs, d)
 	}
-	fmt.Printf("%-14s %-8s %-5s %5s  %6s %8s %8s %8s %8s %7s\n",
-		"design", "app", "gen", "MHz", "util", "lat-all", "lat-dem", "lat-pri", "done", "waste")
+	// With -json -, the report owns stdout and the human table is
+	// suppressed so the output stays machine-parseable.
+	table := *jsonOut != "-"
+	if table {
+		fmt.Printf("%-14s %-8s %-5s %5s  %6s %8s %8s %8s %8s %7s\n",
+			"design", "app", "gen", "MHz", "util", "lat-all", "lat-dem", "lat-pri", "done", "waste")
+	}
+	var reports []*obs.Report
 	for _, d := range designs {
 		cfg := base
 		cfg.Design = d
 		res, err := system.Run(cfg)
 		if err != nil {
 			fatal(err)
+		}
+		reports = append(reports, res.Obs)
+		if !table {
+			continue
 		}
 		fmt.Printf("%-14s %-8s %-5s %5d  %.3f %8.0f %8.0f %8.0f %8d %6.1f%%\n",
 			res.Design, res.App, res.Gen, res.ClockMHz,
@@ -76,6 +93,34 @@ func main() {
 			}
 		}
 	}
+	if *jsonOut != "" {
+		if err := writeReports(*jsonOut, reports); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// writeReports serialises the observability reports: a single run emits
+// one JSON object, -all emits an array (one report per design).
+func writeReports(path string, reports []*obs.Report) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if len(reports) == 1 {
+		return reports[0].WriteJSON(out)
+	}
+	data, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(append(data, '\n'))
+	return err
 }
 
 func fatal(err error) {

@@ -9,10 +9,15 @@
 //	aanoc-sweep -sweep granularity -gen 2
 //	aanoc-sweep -sweep pagepolicy -gen 2
 //	aanoc-sweep -sweep gss-routers -app sdtv -gen 1 -parallel 8
+//	aanoc-sweep -sweep pct -json pct.json > pct.csv
+//
+// -json writes each grid point's observability report (internal/obs)
+// to a file; the CSV on stdout is byte-identical with or without it.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +27,7 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
 	"aanoc/internal/memctrl"
+	"aanoc/internal/obs"
 	"aanoc/internal/sweep"
 	"aanoc/internal/system"
 )
@@ -35,6 +41,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "RNG seed")
 		priority  = flag.Bool("priority", true, "serve demand requests as priority packets")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
+		jsonOut   = flag.String("json", "", "also write each point's obs report as JSON to this file")
 	)
 	flag.Parse()
 	app, err := appmodel.ByName(*appName)
@@ -114,6 +121,23 @@ func main() {
 			strconv.FormatInt(res.Completed, 10),
 		}
 		if err := w.Write(rec); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		type pointReport struct {
+			Point string      `json:"point"`
+			Obs   *obs.Report `json:"obs"`
+		}
+		side := make([]pointReport, len(results))
+		for i, res := range results {
+			side[i] = pointReport{Point: points[i], Obs: res.Obs}
+		}
+		data, err := json.MarshalIndent(side, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
 	}

@@ -6,9 +6,15 @@
 //	aanoc-tables -table 2                  # Table II (priority demand)
 //	aanoc-tables -table 3                  # Table III (STI on DDR3)
 //	aanoc-tables -table all
+//	aanoc-tables -table 1 -json rows.json  # machine-readable sidecar
+//
+// -json writes every row — headline metrics plus the per-run
+// observability report (internal/obs) — to a file; the text tables on
+// stdout are byte-identical with or without it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +30,7 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "RNG seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 		progress = flag.Bool("progress", false, "report per-grid progress on stderr")
+		jsonOut  = flag.String("json", "", "also write the rows (with per-run obs reports) as JSON to this file")
 	)
 	flag.Parse()
 	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
@@ -54,6 +61,7 @@ func main() {
 		}
 		order = []string{*table}
 	}
+	sidecar := map[string][]aanoc.Row{}
 	for _, k := range order {
 		d := drivers[k]
 		fmt.Printf("=== %s — %s (%d cycles/run) ===\n", d.name, d.note, *cycles)
@@ -65,7 +73,23 @@ func main() {
 		fmt.Print(aanoc.FormatRows(rows))
 		printRatios(rows)
 		fmt.Println()
+		sidecar["table"+k] = rows
 	}
+	if *jsonOut != "" {
+		if err := writeSidecar(*jsonOut, sidecar); err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeSidecar dumps the rows, keyed by table, as indented JSON.
+func writeSidecar(path string, sidecar map[string][]aanoc.Row) error {
+	data, err := json.MarshalIndent(sidecar, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // printRatios prints, per design, the averages and the ratio against the

@@ -45,6 +45,11 @@ type bank struct {
 	// the device converts it into a precharge at apStartAt.
 	apPending bool
 	apStartAt int64
+
+	// casSinceAct marks that the open row has already served a column
+	// command; further column commands are row-buffer hits (the per-bank
+	// observability breakdown).
+	casSinceAct bool
 }
 
 // settle folds a completed precharge into the idle state so that state

@@ -16,6 +16,22 @@ type Stats struct {
 	UsefulBeats int64 // beats the requester actually asked for (set by controllers)
 }
 
+// BankCounters is the per-bank command breakdown the observability layer
+// exports: where the activates, row hits and conflicts actually landed.
+// A RowHit is a column command to a row that already served one since its
+// ACTIVATE (the first column access per activation paid tRCD and is not a
+// hit). Precharges counts explicit PRE commands — the controller closes a
+// row only on a conflict or a refresh drain — while AutoPre counts
+// auto-precharges retired from column-command tags.
+type BankCounters struct {
+	Activates  int64 `json:"activates"`
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	RowHits    int64 `json:"rowHits"`
+	Precharges int64 `json:"precharges"`
+	AutoPre    int64 `json:"autoPrecharges"`
+}
+
 // Device is a cycle-level DDR SDRAM device. It is driven by absolute
 // cycle numbers: callers ask CanIssue(cmd, now) and then Issue(cmd, now).
 // Time must be non-decreasing across calls. At most one command may be
@@ -36,7 +52,8 @@ type Device struct {
 	writeDataEnd int64    // end cycle of the most recent write burst
 	busBusyUntil int64
 
-	stats Stats
+	stats   Stats
+	perBank []BankCounters
 
 	// Observer, when set, is invoked for every accepted command with its
 	// data window (zero for non-column commands) — the hook behind the
@@ -52,6 +69,7 @@ func NewDevice(t Timing) (*Device, error) {
 	d := &Device{
 		t:            t,
 		banks:        make([]bank, t.Banks),
+		perBank:      make([]BankCounters, t.Banks),
 		lastCmdCycle: -1,
 		lastCAS:      -(1 << 30),
 		lastActAny:   -(1 << 30),
@@ -81,6 +99,14 @@ func (d *Device) Timing() Timing { return d.t }
 // Stats returns a snapshot of the activity counters.
 func (d *Device) Stats() Stats { return d.stats }
 
+// BankCounters returns a snapshot of the per-bank command breakdown, one
+// entry per bank in bank order.
+func (d *Device) BankCounters() []BankCounters {
+	out := make([]BankCounters, len(d.perBank))
+	copy(out, d.perBank)
+	return out
+}
+
 // AddUsefulBeats lets a controller record how many of the transferred
 // burst beats carried data the requester actually asked for; the
 // difference against BurstsBL is the granularity-mismatch waste (Fig. 2).
@@ -109,6 +135,7 @@ func (d *Device) advance(now int64) {
 			b.state = BankPrecharging
 			b.readyAt = b.apStartAt + d.t.TRP
 			d.stats.AutoPre++
+			d.perBank[i].AutoPre++
 		}
 		b.settle(now)
 	}
@@ -311,7 +338,9 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		d.lastActAny = now
 		copy(d.actTimes[:], d.actTimes[1:])
 		d.actTimes[3] = now
+		b.casSinceAct = false
 		d.stats.Activates++
+		d.perBank[cmd.Bank].Activates++
 	case CmdRead:
 		b := &d.banks[cmd.Bank]
 		w := DataWindow{Start: now + d.t.CL, End: now + d.t.CL + BurstCycles(cmd.BL)}
@@ -319,6 +348,11 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		d.busBusyUntil = w.End
 		d.readDataEnd = w.End
 		d.stats.Reads++
+		d.perBank[cmd.Bank].Reads++
+		if b.casSinceAct {
+			d.perBank[cmd.Bank].RowHits++
+		}
+		b.casSinceAct = true
 		d.stats.DataCycles += w.Cycles()
 		d.stats.BurstsBL += int64(cmd.BL)
 		d.lastWindow = w
@@ -338,6 +372,11 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		d.busBusyUntil = w.End
 		d.writeDataEnd = w.End
 		d.stats.Writes++
+		d.perBank[cmd.Bank].Writes++
+		if b.casSinceAct {
+			d.perBank[cmd.Bank].RowHits++
+		}
+		b.casSinceAct = true
 		d.stats.DataCycles += w.Cycles()
 		d.stats.BurstsBL += int64(cmd.BL)
 		d.lastWindow = w
@@ -355,6 +394,7 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		b.state = BankPrecharging
 		b.readyAt = now + d.t.TRP
 		d.stats.Precharges++
+		d.perBank[cmd.Bank].Precharges++
 	case CmdRefresh:
 		for i := range d.banks {
 			d.banks[i].readyAt = now + d.t.TRFC

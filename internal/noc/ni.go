@@ -13,6 +13,9 @@ type Injector struct {
 	queues [][]*Packet
 	sent   []int // flits of each VC's queue head already launched
 
+	queuedFlits int // unsent flits across VCs, maintained incrementally
+	flitsHWM    int // high-water mark of queuedFlits over the run
+
 	// OnFirstFlit, when set, is invoked as a packet's head flit enters
 	// the network — the reference point for network-entry latency.
 	OnFirstFlit func(p *Packet, now int64)
@@ -36,6 +39,10 @@ func (inj *Injector) At() Coord { return inj.at }
 func (inj *Injector) Enqueue(p *Packet) {
 	vc := vcOf(p, len(inj.queues))
 	inj.queues[vc] = append(inj.queues[vc], p)
+	inj.queuedFlits += p.Flits
+	if inj.queuedFlits > inj.flitsHWM {
+		inj.flitsHWM = inj.queuedFlits
+	}
 }
 
 // QueueLen returns the number of packets waiting across VCs (including
@@ -50,16 +57,11 @@ func (inj *Injector) QueueLen() int {
 
 // QueueFlits returns the number of unsent flits waiting in the injection
 // queues; network interfaces use it to backpressure their traffic source.
-func (inj *Injector) QueueFlits() int {
-	n := 0
-	for vc, q := range inj.queues {
-		for _, p := range q {
-			n += p.Flits
-		}
-		n -= inj.sent[vc]
-	}
-	return n
-}
+func (inj *Injector) QueueFlits() int { return inj.queuedFlits }
+
+// QueueFlitsHWM returns the high-water mark of the injection backlog in
+// flits — how close the NI queue came to its InjectCap over the run.
+func (inj *Injector) QueueFlitsHWM() int { return inj.flitsHWM }
 
 // Step launches at most one flit, serving the priority VC first. Call
 // once per cycle, after Mesh.Step.
@@ -77,6 +79,7 @@ func (inj *Injector) Step(now int64) {
 		}
 		inj.credits[vc]--
 		inj.sent[vc]++
+		inj.queuedFlits--
 		if inj.sent[vc] == p.Flits {
 			inj.queues[vc] = q[1:]
 			inj.sent[vc] = 0
@@ -98,6 +101,7 @@ type Sink struct {
 	maxReady int
 	partial  []int // flits of each VC's head packet already drained
 	ready    []*Packet
+	readyHWM int // high-water mark of the ready list over the run
 }
 
 func newSink(vcs, queueFlits, maxReady int) *Sink {
@@ -135,6 +139,9 @@ func (s *Sink) drainVC(vc int) {
 			if pp.Sent == pp.Pkt.Flits {
 				buf.packets = buf.packets[1:]
 				s.ready = append(s.ready, pp.Pkt)
+				if len(s.ready) > s.readyHWM {
+					s.readyHWM = len(s.ready)
+				}
 				s.partial[vc] = 0
 				break
 			}
@@ -169,3 +176,7 @@ func (s *Sink) Occupied() int { return s.port.occupied() }
 // Ready reports the number of fully received packets awaiting the
 // consumer.
 func (s *Sink) Ready() int { return len(s.ready) }
+
+// ReadyHWM returns the high-water mark of the ready list — how close the
+// consumer came to letting backpressure propagate into the mesh.
+func (s *Sink) ReadyHWM() int { return s.readyHWM }

@@ -48,9 +48,17 @@ type OutputPort struct {
 	// BusyCycles counts cycles a flit was actually launched; used by the
 	// activity-based power model.
 	BusyCycles int64
+	// Grants counts channel allocations the port's flow-control policy
+	// made — one per packet granted the output, regardless of its length.
+	// BusyCycles/Grants approximates the mean granted packet length.
+	Grants int64
 }
 
 func (o *OutputPort) addCredits(vc, n int) { o.credits[vc] += n }
+
+// Connected reports whether the port has a downstream link (edge ports of
+// the mesh are left unwired unless a sink is attached).
+func (o *OutputPort) Connected() bool { return o.link != nil }
 
 // vcCount returns the number of virtual channels on the port.
 func (o *OutputPort) vcCount() int { return len(o.active) }
@@ -169,6 +177,7 @@ func (r *Router) allocate(out, vc int, now int64) {
 	}
 	buf := bufs[idx]
 	o.active[vc] = &activeXfer{buf: buf, pp: buf.head()}
+	o.Grants++
 	o.alloc.OnScheduled(cands[idx].Pkt, now)
 }
 

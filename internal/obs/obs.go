@@ -1,0 +1,211 @@
+// Package obs defines the run-level observability report: the structured
+// per-component counters one simulation run exports next to the paper's
+// headline metrics. Where the headline metrics answer "how fast", the
+// report answers "why": which links carried the traffic, which network
+// interfaces backpressured their generators, which banks took the
+// activates and conflicts, and — with sampling enabled — how utilization
+// and queue occupancy evolved over the run.
+//
+// The report is pure data. The system simulator fills it in
+// Runner.Finish from counters the substrates (noc, dram, memctrl)
+// maintain anyway, so collecting it costs nothing during the run; the
+// optional time series is the only part gated behind a configuration
+// knob (Config.SampleEvery). Every field is deterministic for a
+// (configuration, seed) pair, so reports survive the repository's
+// serial-vs-parallel byte-identity checks unchanged.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"aanoc/internal/stats"
+)
+
+// Report is one run's observability export. Serialized as JSON by the
+// CLI sidecars (aanoc-sim -json, aanoc-tables -json, ...).
+type Report struct {
+	// Run identity: the resolved configuration the counters belong to.
+	Design   string `json:"design"`
+	App      string `json:"app"`
+	Gen      int    `json:"gen"`
+	ClockMHz int    `json:"clockMHz"`
+	Cycles   int64  `json:"cycles"`
+	Warmup   int64  `json:"warmup"`
+	Seed     uint64 `json:"seed"`
+
+	// Request accounting over the whole run.
+	Generated int64 `json:"generated"`
+	Completed int64 `json:"completed"`
+	// Stalled counts generator cycles lost to injection backpressure: one
+	// per core per cycle in which its NI refused new work (backlog at
+	// InjectCap), counted at the backpressure decision in Runner.Step.
+	Stalled int64 `json:"stalled"`
+
+	// Utilization is the data-bus busy fraction (the paper's headline
+	// memory utilization metric).
+	Utilization float64 `json:"utilization"`
+
+	Latency Latencies `json:"latency"`
+	Network Network   `json:"network"`
+	// NIs is the per-core network-interface breakdown, in core order.
+	NIs    []NI   `json:"nis"`
+	Memory Memory `json:"memory"`
+
+	// SampleEvery echoes the sampling interval; Samples is the time
+	// series, one entry per interval boundary (absent when sampling off).
+	SampleEvery int64    `json:"sampleEvery,omitempty"`
+	Samples     []Sample `json:"samples,omitempty"`
+}
+
+// Latencies digests every latency accumulator of the run. All primary
+// classes measure from network entry; Source measures from generation
+// (including the NI queue).
+type Latencies struct {
+	All      stats.Summary `json:"all"`
+	Demand   stats.Summary `json:"demand"`
+	Priority stats.Summary `json:"priority"`
+	Best     stats.Summary `json:"best"`
+	Reads    stats.Summary `json:"reads"`
+	Writes   stats.Summary `json:"writes"`
+	Source   stats.Summary `json:"source"`
+}
+
+// Network carries the per-mesh link breakdowns.
+type Network struct {
+	Request  MeshStats `json:"request"`
+	Response MeshStats `json:"response"`
+}
+
+// MeshStats summarises one physical mesh.
+type MeshStats struct {
+	// BusyCycles sums flit launches over every output of the mesh (the
+	// power model's network activity input).
+	BusyCycles int64 `json:"busyCycles"`
+	// Links lists every connected router output, in router-index then
+	// port order — deterministic across runs.
+	Links []LinkStat `json:"links"`
+}
+
+// LinkStat is one router output channel: its sustained utilization and
+// the allocator grants behind it.
+type LinkStat struct {
+	Router string `json:"router"` // "(x,y)" of the owning router
+	Port   string `json:"port"`   // "local", "north", ...
+	// BusyCycles counts cycles a flit was launched; Utilization divides
+	// by the run length. Grants counts channel allocations (one per
+	// packet), so BusyCycles/Grants approximates granted packet length.
+	BusyCycles  int64   `json:"busyCycles"`
+	Grants      int64   `json:"grants"`
+	Utilization float64 `json:"utilization"`
+}
+
+// NI is one core's network-interface breakdown.
+type NI struct {
+	Core string `json:"core"`
+	// QueueFlitsHWM is the injection-backlog high-water mark in flits
+	// (the cap is Config.InjectCap); StallCycles counts the cycles this
+	// core's generators were refused injection.
+	QueueFlitsHWM int   `json:"queueFlitsHWM"`
+	StallCycles   int64 `json:"stallCycles"`
+	// SinkReadyHWM is the response-sink ready-list high-water mark.
+	SinkReadyHWM int `json:"sinkReadyHWM"`
+}
+
+// BankStat mirrors dram.BankCounters with its bank index attached.
+type BankStat struct {
+	Bank       int   `json:"bank"`
+	Activates  int64 `json:"activates"`
+	Reads      int64 `json:"reads"`
+	Writes     int64 `json:"writes"`
+	RowHits    int64 `json:"rowHits"`
+	Precharges int64 `json:"precharges"`
+	AutoPre    int64 `json:"autoPrecharges"`
+}
+
+// StreamQuality classifies adjacent admitted request pairs by the
+// paper's SDRAM conditions (lightweight controller only): how
+// SDRAM-friendly the order delivered by the network was.
+type StreamQuality struct {
+	RowHits     int64 `json:"rowHits"`
+	Interleaves int64 `json:"interleaves"`
+	Conflicts   int64 `json:"conflicts"`
+	Contentions int64 `json:"contentions"`
+}
+
+// Memory is the memory-subsystem breakdown.
+type Memory struct {
+	Banks []BankStat `json:"banks"`
+	// SinkReadyHWM is the memory-side request sink's ready-list
+	// high-water mark — how hard the network pushed the controller.
+	SinkReadyHWM int `json:"sinkReadyHWM"`
+	// Stream is present for the paper's lightweight controller, which
+	// observes the arrival order the network scheduled.
+	Stream *StreamQuality `json:"stream,omitempty"`
+}
+
+// Sample is one point of the optional time series. All occupancy fields
+// are instantaneous at the sample cycle; Utilization is the data-bus
+// busy fraction within the window ending at the sample cycle.
+type Sample struct {
+	Cycle       int64   `json:"cycle"`
+	Utilization float64 `json:"utilization"`
+	// Outstanding counts logical requests in flight (generated, not yet
+	// completed); QueueFlits sums the injection backlogs of every core;
+	// MemReady is the memory sink's ready-list occupancy.
+	Outstanding int `json:"outstanding"`
+	QueueFlits  int `json:"queueFlits"`
+	MemReady    int `json:"memReady"`
+}
+
+// WriteJSON serialises the report, indented, to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Parse decodes and sanity-checks one report: the CI smoke and tests use
+// it to assert a sidecar is well-formed, so it rejects structurally valid
+// JSON that could not have come from a finished run.
+func Parse(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Validate checks the invariants every finished run's report satisfies.
+func (r *Report) Validate() error {
+	switch {
+	case r.Cycles <= 0:
+		return fmt.Errorf("obs: report has no cycles (%d)", r.Cycles)
+	case r.Design == "" || r.App == "":
+		return fmt.Errorf("obs: report missing design/app identity")
+	case r.Utilization < 0 || r.Utilization > 1:
+		return fmt.Errorf("obs: utilization %v outside [0,1]", r.Utilization)
+	case r.Generated < r.Completed:
+		return fmt.Errorf("obs: completed %d exceeds generated %d", r.Completed, r.Generated)
+	case len(r.Network.Request.Links) == 0:
+		return fmt.Errorf("obs: report has no request-mesh links")
+	case len(r.Memory.Banks) == 0:
+		return fmt.Errorf("obs: report has no per-bank breakdown")
+	case r.SampleEvery == 0 && len(r.Samples) > 0:
+		return fmt.Errorf("obs: samples present without a sampling interval")
+	}
+	for _, s := range r.Samples {
+		if s.Cycle <= 0 || s.Cycle > r.Cycles {
+			return fmt.Errorf("obs: sample cycle %d outside run (0,%d]", s.Cycle, r.Cycles)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// valid returns a minimal report that passes Validate.
+func valid() *Report {
+	return &Report{
+		Design: "GSS", App: "bluray", Gen: 2, ClockMHz: 333,
+		Cycles: 1000, Seed: 7,
+		Generated: 10, Completed: 8, Stalled: 3,
+		Utilization: 0.5,
+		Network: Network{Request: MeshStats{
+			BusyCycles: 40,
+			Links: []LinkStat{{
+				Router: "(0,0)", Port: "east",
+				BusyCycles: 40, Grants: 5, Utilization: 0.04,
+			}},
+		}},
+		NIs:    []NI{{Core: "cpu", QueueFlitsHWM: 12, StallCycles: 3}},
+		Memory: Memory{Banks: []BankStat{{Bank: 0, Activates: 2, Reads: 4, RowHits: 2}}},
+	}
+}
+
+func TestWriteJSONParseRoundTrip(t *testing.T) {
+	r := valid()
+	r.SampleEvery = 100
+	r.Samples = []Sample{
+		{Cycle: 100, Utilization: 0.4, Outstanding: 3, QueueFlits: 9, MemReady: 1},
+		{Cycle: 200, Utilization: 0.6, Outstanding: 2, QueueFlits: 4, MemReady: 0},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("WriteJSON output not newline-terminated")
+	}
+	back, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Design != r.Design || back.Stalled != r.Stalled ||
+		len(back.Samples) != 2 || back.Samples[1].QueueFlits != 4 ||
+		back.Memory.Banks[0].RowHits != 2 ||
+		back.Network.Request.Links[0].Grants != 5 {
+		t.Errorf("round trip lost content: %+v", back)
+	}
+}
+
+func TestOmitEmptySampling(t *testing.T) {
+	var buf bytes.Buffer
+	if err := valid().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "sampleEvery") || strings.Contains(out, "samples") {
+		t.Error("sampling fields serialized despite sampling off")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Report)
+		want string
+	}{
+		{"no cycles", func(r *Report) { r.Cycles = 0 }, "no cycles"},
+		{"missing identity", func(r *Report) { r.Design = "" }, "identity"},
+		{"utilization above one", func(r *Report) { r.Utilization = 1.5 }, "outside [0,1]"},
+		{"completed exceeds generated", func(r *Report) { r.Completed = r.Generated + 1 }, "exceeds"},
+		{"no links", func(r *Report) { r.Network.Request.Links = nil }, "links"},
+		{"no banks", func(r *Report) { r.Memory.Banks = nil }, "per-bank"},
+		{"samples without interval", func(r *Report) {
+			r.Samples = []Sample{{Cycle: 10}}
+		}, "without a sampling interval"},
+		{"sample beyond run", func(r *Report) {
+			r.SampleEvery = 10
+			r.Samples = []Sample{{Cycle: r.Cycles + 1}}
+		}, "outside run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := valid()
+			tc.mut(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted a broken report")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := valid().Validate(); err != nil {
+		t.Errorf("valid report rejected: %v", err)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Error("Parse accepted malformed JSON")
+	}
+	// Structurally valid JSON that no finished run could have produced.
+	if _, err := Parse([]byte(`{"design":"GSS","app":"x","cycles":0}`)); err == nil {
+		t.Error("Parse accepted an empty-run report")
+	}
+}

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -51,14 +52,20 @@ func (l *Latency) Mean() float64 {
 }
 
 // Percentile returns an upper bound on the p-th percentile (p in [0,100])
-// at histogram-bucket resolution.
+// at histogram-bucket resolution. The rank is the nearest-rank ceiling,
+// ceil(count*p/100), so P95 over 10 samples targets the 10th sample, not
+// the 9th — truncation would silently report one bucket low on small
+// counts.
 func (l *Latency) Percentile(p float64) int64 {
 	if l.Count == 0 {
 		return 0
 	}
-	target := int64(float64(l.Count) * p / 100.0)
+	target := int64(math.Ceil(float64(l.Count) * p / 100.0))
 	if target < 1 {
 		target = 1
+	}
+	if target > l.Count {
+		target = l.Count
 	}
 	var seen int64
 	for i, n := range l.buckets {
@@ -87,9 +94,35 @@ func (l *Latency) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f p95<=%d max=%d", l.Count, l.Mean(), l.Percentile(95), l.Max)
 }
 
+// Summary is the serialisable digest of one Latency accumulator: the
+// fields the observability report exports per request class. Percentiles
+// are the accumulator's histogram upper bounds.
+type Summary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Summarize digests the accumulator into its exportable form.
+func (l *Latency) Summarize() Summary {
+	return Summary{
+		Count: l.Count,
+		Mean:  l.Mean(),
+		P50:   l.Percentile(50),
+		P95:   l.Percentile(95),
+		P99:   l.Percentile(99),
+		Max:   l.Max,
+	}
+}
+
 // Metrics aggregates one simulation run's measurements in the paper's
 // three latency columns plus supporting detail.
 type Metrics struct {
+	// Cycles is the simulated run length; the system stamps it when the
+	// run finishes (Runner.Finish).
 	Cycles int64
 
 	All      Latency // every logical request
@@ -107,7 +140,12 @@ type Metrics struct {
 
 	Generated int64 // logical requests generated
 	Completed int64 // logical requests completed inside the window
-	Stalled   int64 // generator cycles lost to injection backpressure
+	// Stalled counts generator cycles lost to injection backpressure: one
+	// per core per cycle in which its network interface refused new work
+	// because the injection backlog was at InjectCap. The system counts it
+	// at the backpressure decision point in Runner.Step, over the whole
+	// run (not warmup-gated).
+	Stalled int64
 }
 
 // Record adds one completed logical request.

@@ -73,6 +73,60 @@ func TestMetricsRecordRouting(t *testing.T) {
 	}
 }
 
+// TestPercentileCeilingRank pins the nearest-rank-ceiling contract on
+// small counts and exact powers of two, where the old truncating rank
+// silently targeted one sample too low (P95 of 10 samples must bound the
+// 10th sample, not the 9th). Samples are chosen one per histogram bucket
+// (powers of two) so each rank maps to a distinct bucket bound.
+func TestPercentileCeilingRank(t *testing.T) {
+	// bound(i) is the histogram upper bound for sample 2^i.
+	bound := func(i int) int64 { return (int64(1) << uint(i+1)) - 1 }
+	cases := []struct {
+		name    string
+		samples int // samples: 2^0, 2^1, ..., 2^(samples-1)
+		p       float64
+		want    int64
+	}{
+		{"p95 of 10 targets the 10th", 10, 95, bound(9)},
+		{"p50 of 10 targets the 5th", 10, 50, bound(4)},
+		{"p99 of 10 targets the 10th", 10, 99, bound(9)},
+		{"p95 of 2 targets the 2nd", 2, 95, bound(1)},
+		{"p50 of 1 targets the 1st", 1, 50, bound(0)},
+		{"p25 of 4 targets the 1st (exact rank)", 4, 25, bound(0)},
+		{"p50 of 8 targets the 4th (exact rank)", 8, 50, bound(3)},
+		{"p75 of 8 targets the 6th (exact rank)", 8, 75, bound(5)},
+		{"p95 of 16 targets the 16th (ceil 15.2)", 16, 95, bound(15)},
+		{"p100 of 16 targets the 16th", 16, 100, bound(15)},
+		{"p0 clamps to the 1st", 16, 0, bound(0)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l Latency
+			for i := 0; i < tc.samples; i++ {
+				l.Add(int64(1) << uint(i))
+			}
+			if got := l.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) over %d samples = %d, want %d",
+					tc.p, tc.samples, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var l Latency
+	for i := int64(1); i <= 100; i++ {
+		l.Add(i)
+	}
+	s := l.Summarize()
+	if s.Count != 100 || s.Mean != 50.5 || s.Max != 100 {
+		t.Fatalf("summary basics: %+v", s)
+	}
+	if s.P50 < 50 || s.P95 < 95 || s.P99 < 99 {
+		t.Errorf("summary percentiles undercut true values: %+v", s)
+	}
+}
+
 func TestPropertyPercentileIsUpperBound(t *testing.T) {
 	// The histogram percentile must never undercut the true percentile.
 	f := func(raw []uint16) bool {

@@ -274,12 +274,34 @@ func TestFingerprintCanonicalises(t *testing.T) {
 		"cycles": func(c *system.Config) { c.Cycles = 100 },
 		"app":    func(c *system.Config) { c.App = appmodel.SingleDTV() },
 		"clock":  func(c *system.Config) { c.ClockMHz = 999 },
+		// Warmup -1 is the explicit no-warmup sentinel: it resolves to
+		// warmup 0, which differs from the default Cycles/10, so the runs
+		// are observably different and must not share a cache entry.
+		"warmup sentinel": func(c *system.Config) { c.Warmup = -1 },
+		// SampleEvery never perturbs the simulation, but a sampled run's
+		// Result carries the time series — distinct cache entries.
+		"sample interval": func(c *system.Config) { c.SampleEvery = 1000 },
 	} {
 		other := implicit
 		mutate(&other)
 		if fo, _ := Fingerprint(other); fo == fa {
 			t.Fatalf("changing %s did not change the fingerprint", name)
 		}
+	}
+
+	// The sentinel resolves stably: two -1 spellings share a fingerprint,
+	// as do a default-warmup config and its explicit Cycles/10 spelling.
+	s1, s2 := implicit, implicit
+	s1.Warmup, s2.Warmup = -1, -1
+	f1, _ := Fingerprint(s1)
+	f2, _ := Fingerprint(s2)
+	if f1 != f2 {
+		t.Fatal("warmup sentinel fingerprints unstably")
+	}
+	spelled := implicit
+	spelled.Warmup = 20_000 // the default Cycles/10 written out
+	if fs, _ := Fingerprint(spelled); fs != fa {
+		t.Fatal("explicit default warmup fingerprints differently from implicit")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"aanoc/internal/mapping"
 	"aanoc/internal/memctrl"
 	"aanoc/internal/noc"
+	"aanoc/internal/obs"
 	"aanoc/internal/router"
 	"aanoc/internal/sim"
 	"aanoc/internal/stats"
@@ -37,8 +38,15 @@ type Config struct {
 	PriorityDemand bool
 
 	Cycles int64
-	Warmup int64 // latency samples start after this cycle (default Cycles/10)
-	Seed   uint64
+	// Warmup is the cycle latency samples start after (default Cycles/10).
+	// Zero selects the default; an explicit no-warmup run is requested
+	// with the sentinel -1 (resolved to warmup 0), since the zero value
+	// cannot express it.
+	Warmup int64
+	// Seed seeds the deterministic RNG. Zero selects the fixed default
+	// seed 0xA11CE — the zero value must be runnable and deterministic —
+	// so "seed zero" itself is not expressible; every run is seeded.
+	Seed uint64
 
 	// BufFlits sizes router input buffers (default 8 flits per virtual
 	// channel).
@@ -58,7 +66,9 @@ type Config struct {
 	// traffic source stalls (default 64).
 	InjectCap int
 	// MemPipeline is the command pipeline depth of the lightweight
-	// controller (default 4).
+	// controller (default 8, pinned by TestWithDefaultsPinned — the
+	// sweep fingerprint cache keys on the resolved value, so the default
+	// must not drift silently).
 	MemPipeline int
 	// SplitGranularity overrides the SAGM split size in beats (ablation);
 	// 0 uses the paper's per-generation value.
@@ -69,6 +79,14 @@ type Config struct {
 	// workloads across designs.
 	Trace  *trace.Writer
 	Replay []trace.Record
+
+	// SampleEvery, when positive, collects an observability time-series
+	// sample every SampleEvery cycles into the run report (Result.Obs):
+	// windowed data-bus utilization, outstanding logical requests and
+	// queue occupancies. Zero disables sampling; the rest of the report
+	// is collected either way. Sampling never feeds back into the
+	// simulation, so it cannot perturb results.
+	SampleEvery int64
 
 	// TagEveryRequest reverts to the paper's literal partially-open-page
 	// policy: every logical request's last split carries the AP tag, so
@@ -120,6 +138,13 @@ type Result struct {
 	// service, 1/n = one core monopolises the memory).
 	PerCore  []CoreStats
 	Fairness float64
+
+	// Obs is the run-level observability report: per-link utilization
+	// and grants, per-NI backlog high-water marks and stall cycles, the
+	// per-bank DRAM breakdown, and (when Config.SampleEvery is set) the
+	// time series. Always populated by Finish; serialized by the CLI
+	// JSON sidecars.
+	Obs *obs.Report
 }
 
 // Resolved returns the configuration with every defaulted field filled
@@ -141,6 +166,8 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Warmup == 0 {
 		c.Warmup = c.Cycles / 10
+	} else if c.Warmup < 0 {
+		c.Warmup = 0 // the -1 sentinel: an explicit no-warmup run
 	}
 	if c.Seed == 0 {
 		c.Seed = 0xA11CE
@@ -205,6 +232,13 @@ type Runner struct {
 	met       stats.Metrics
 	coreStats []CoreStats
 	now       int64
+
+	// Observability state: per-core stall cycles (indexed like cores),
+	// the collected time series, and the data-cycle watermark of the
+	// last sample window.
+	stalls      []int64
+	samples     []obs.Sample
+	lastSampleD int64
 
 	gssAllocs []*core.GSS
 }
@@ -330,6 +364,7 @@ func New(cfg Config) (*Runner, error) {
 		r.bySrc[spec.Pos] = ni
 		r.coreStats = append(r.coreStats, CoreStats{Name: spec.Name})
 	}
+	r.stalls = make([]int64, len(r.cores))
 	return r, nil
 }
 
@@ -463,7 +498,7 @@ func (r *Runner) Step() {
 	r.ctrl.Tick(now)
 	r.respInj.Step(now)
 	// Core side: responses complete reads; generators inject new work.
-	for _, c := range r.cores {
+	for i, c := range r.cores {
 		for {
 			p := c.sink.Pop(now)
 			if p == nil {
@@ -472,6 +507,12 @@ func (r *Runner) Step() {
 			r.completeSplit(p, now)
 		}
 		blocked := c.inj.QueueFlits() >= r.cfg.InjectCap
+		if blocked {
+			// The injection backpressure point: this core's generators
+			// lose the cycle. Counted once per core per cycle.
+			r.met.Stalled++
+			r.stalls[i]++
+		}
 		for _, g := range c.gens {
 			req := g.Tick(now, blocked)
 			if req == nil {
@@ -482,6 +523,27 @@ func (r *Runner) Step() {
 		c.inj.Step(now)
 	}
 	r.now++
+	if se := r.cfg.SampleEvery; se > 0 && r.now%se == 0 {
+		r.sample(se)
+	}
+}
+
+// sample appends one time-series point covering the window of the last
+// interval cycles.
+func (r *Runner) sample(interval int64) {
+	queued := 0
+	for _, c := range r.cores {
+		queued += c.inj.QueueFlits()
+	}
+	dc := r.dev.Stats().DataCycles
+	r.samples = append(r.samples, obs.Sample{
+		Cycle:       r.now,
+		Utilization: float64(dc-r.lastSampleD) / float64(interval),
+		Outstanding: len(r.parents),
+		QueueFlits:  queued,
+		MemReady:    r.memSink.Ready(),
+	})
+	r.lastSampleD = dc
 }
 
 // injectLogical packetises a logical request (splitting under SAGM) and
@@ -543,6 +605,7 @@ func (r *Runner) Now() int64 { return r.now }
 func (r *Runner) Finish() Result {
 	cfg := r.cfg
 	st := r.dev.Stats()
+	r.met.Cycles = r.now
 	res := Result{
 		Design: cfg.Design, App: cfg.App.Name, Gen: cfg.Gen, ClockMHz: cfg.ClockMHz,
 		Cycles:      r.now,
@@ -570,7 +633,88 @@ func (r *Runner) Finish() Result {
 	}
 	res.PerCore = append(res.PerCore, r.coreStats...)
 	res.Fairness = jain(r.coreStats)
+	res.Obs = r.buildReport()
 	return res
+}
+
+// buildReport assembles the observability report from the counters the
+// substrates maintained during the run.
+func (r *Runner) buildReport() *obs.Report {
+	cfg := r.cfg
+	rep := &obs.Report{
+		Design: cfg.Design.String(), App: cfg.App.Name, Gen: int(cfg.Gen),
+		ClockMHz: cfg.ClockMHz, Cycles: r.now, Warmup: cfg.Warmup, Seed: cfg.Seed,
+		Generated:   r.met.Generated,
+		Completed:   r.met.Completed,
+		Stalled:     r.met.Stalled,
+		Utilization: r.dev.Utilization(r.now),
+		Latency: obs.Latencies{
+			All:      r.met.All.Summarize(),
+			Demand:   r.met.Demand.Summarize(),
+			Priority: r.met.Priority.Summarize(),
+			Best:     r.met.Best.Summarize(),
+			Reads:    r.met.Reads.Summarize(),
+			Writes:   r.met.Writes.Summarize(),
+			Source:   r.met.SourceLatency.Summarize(),
+		},
+		Network: obs.Network{
+			Request:  meshStats(r.reqMesh, r.now),
+			Response: meshStats(r.respMesh, r.now),
+		},
+		SampleEvery: cfg.SampleEvery,
+		Samples:     r.samples,
+	}
+	for i, c := range r.cores {
+		rep.NIs = append(rep.NIs, obs.NI{
+			Core:          c.spec.Name,
+			QueueFlitsHWM: c.inj.QueueFlitsHWM(),
+			StallCycles:   r.stalls[i],
+			SinkReadyHWM:  c.sink.ReadyHWM(),
+		})
+	}
+	rep.Memory.SinkReadyHWM = r.memSink.ReadyHWM()
+	for i, b := range r.dev.BankCounters() {
+		rep.Memory.Banks = append(rep.Memory.Banks, obs.BankStat{
+			Bank: i, Activates: b.Activates, Reads: b.Reads, Writes: b.Writes,
+			RowHits: b.RowHits, Precharges: b.Precharges, AutoPre: b.AutoPre,
+		})
+	}
+	if s, ok := r.ctrl.(*memctrl.Simple); ok {
+		rep.Memory.Stream = &obs.StreamQuality{
+			RowHits:     s.StreamStats.RowHits,
+			Interleaves: s.StreamStats.Interleaves,
+			Conflicts:   s.StreamStats.Conflicts,
+			Contentions: s.StreamStats.Contentions,
+		}
+	}
+	return rep
+}
+
+// meshStats flattens one mesh's connected output ports, in router-index
+// then port order, and totals their activity.
+func meshStats(m *noc.Mesh, cycles int64) obs.MeshStats {
+	var ms obs.MeshStats
+	for _, rt := range m.Routers {
+		for p := 0; p < noc.NumPorts; p++ {
+			o := rt.Out[p]
+			if !o.Connected() {
+				continue
+			}
+			util := 0.0
+			if cycles > 0 {
+				util = float64(o.BusyCycles) / float64(cycles)
+			}
+			ms.BusyCycles += o.BusyCycles
+			ms.Links = append(ms.Links, obs.LinkStat{
+				Router:      rt.Pos.String(),
+				Port:        noc.PortName(p),
+				BusyCycles:  o.BusyCycles,
+				Grants:      o.Grants,
+				Utilization: util,
+			})
+		}
+	}
+	return ms
 }
 
 // jain computes Jain's fairness index over per-core served beats.

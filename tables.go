@@ -7,27 +7,34 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/area"
 	"aanoc/internal/dram"
+	"aanoc/internal/obs"
 	"aanoc/internal/sweep"
 	"aanoc/internal/system"
 )
 
 // Row is one cell group of Tables I-III: an application at one clock
-// point, measured under one design.
+// point, measured under one design. JSON tags serve the machine-readable
+// sidecars (aanoc-tables -json, aanoc-report -json); the human-readable
+// text tables ignore Obs entirely, so sidecar support cannot move a byte
+// of the default output.
 type Row struct {
-	App      string
-	Gen      int
-	ClockMHz int
-	Design   Design
+	App      string `json:"app"`
+	Gen      int    `json:"gen"`
+	ClockMHz int    `json:"clockMHz"`
+	Design   Design `json:"design"`
 
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 	// UsefulUtilization excludes over-fetched (discarded) beats — the
 	// access-granularity waste of Fig. 2.
-	UsefulUtilization float64
-	LatencyAll        float64
-	LatencyDemand     float64
-	LatencyPriority   float64
-	Completed         int64
-	WasteFrac         float64
+	UsefulUtilization float64 `json:"usefulUtilization"`
+	LatencyAll        float64 `json:"latencyAll"`
+	LatencyDemand     float64 `json:"latencyDemand"`
+	LatencyPriority   float64 `json:"latencyPriority"`
+	Completed         int64   `json:"completed"`
+	WasteFrac         float64 `json:"wasteFrac"`
+
+	// Obs is the run's observability report (see internal/obs).
+	Obs *obs.Report `json:"obs,omitempty"`
 }
 
 func rowFrom(res Result) Row {
@@ -40,6 +47,7 @@ func rowFrom(res Result) Row {
 		LatencyPriority:   res.LatPriority,
 		Completed:         res.Completed,
 		WasteFrac:         res.WasteFrac,
+		Obs:               res.Obs,
 	}
 }
 
