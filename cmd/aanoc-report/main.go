@@ -20,6 +20,7 @@ import (
 	"runtime"
 
 	"aanoc"
+	"aanoc/internal/obs"
 	"aanoc/internal/paperdata"
 )
 
@@ -29,9 +30,10 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "RNG seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 		jsonOut  = flag.String("json", "", "also write the Table I-III rows (with per-run obs reports) as JSON to this file")
+		checked  = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
 	)
 	flag.Parse()
-	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel, Checked: *checked}
 
 	fmt.Printf("# Paper vs. measured (%d cycles per run)\n\n", *cycles)
 	fmt.Println("Latencies are in memory-clock cycles. `paper` columns are the")
@@ -42,6 +44,7 @@ func main() {
 	fmt.Println()
 
 	sidecar := map[string][]aanoc.Row{}
+	violations := 0
 	for _, tbl := range []struct {
 		key string
 		run func(aanoc.TableOptions) ([]aanoc.Row, error)
@@ -51,6 +54,15 @@ func main() {
 			fail(err)
 		}
 		sidecar[tbl.key] = rows
+		if n := aanoc.CheckedViolations(rows); n > 0 {
+			violations += n
+			for _, r := range rows {
+				if r.Obs != nil && len(r.Obs.Violations) > 0 {
+					fmt.Fprintf(os.Stderr, "aanoc-report: %s %s/DDR%d/%s:\n%s",
+						tbl.key, r.App, r.Gen, r.Design, obs.SummarizeViolations(r.Obs.Violations, 10))
+				}
+			}
+		}
 	}
 	if err := fig8(o); err != nil {
 		fail(err)
@@ -67,6 +79,10 @@ func main() {
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			fail(err)
 		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "aanoc-report: %d invariant violation(s) across the grids\n", violations)
+		os.Exit(2)
 	}
 }
 

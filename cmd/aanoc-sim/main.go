@@ -39,6 +39,7 @@ func main() {
 		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
 		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
 		sample   = flag.Int64("sample-every", 0, "record a time-series sample every N cycles in the report (0: off)")
+		checked  = flag.Bool("checked", false, "run under the invariant layer (internal/check); violations go to stderr and exit status 2")
 	)
 	flag.Parse()
 
@@ -50,7 +51,7 @@ func main() {
 		App: app, Gen: dram.Generation(*gen), ClockMHz: *clock,
 		Cycles: *cycles, Seed: *seed, PCT: *pct,
 		GSSRouters: *gssN, PriorityDemand: *priority,
-		SampleEvery: *sample,
+		SampleEvery: *sample, Checked: *checked,
 	}
 	designs := []system.Design{}
 	if *all {
@@ -70,6 +71,7 @@ func main() {
 			"design", "app", "gen", "MHz", "util", "lat-all", "lat-dem", "lat-pri", "done", "waste")
 	}
 	var reports []*obs.Report
+	violated := false
 	for _, d := range designs {
 		cfg := base
 		cfg.Design = d
@@ -78,6 +80,11 @@ func main() {
 			fatal(err)
 		}
 		reports = append(reports, res.Obs)
+		if len(res.Obs.Violations) > 0 {
+			violated = true
+			fmt.Fprintf(os.Stderr, "aanoc-sim: %d invariant violation(s) on %s:\n%s",
+				len(res.Obs.Violations), res.Design, obs.SummarizeViolations(res.Obs.Violations, 20))
+		}
 		if !table {
 			continue
 		}
@@ -97,6 +104,9 @@ func main() {
 		if err := writeReports(*jsonOut, reports); err != nil {
 			fatal(err)
 		}
+	}
+	if violated {
+		os.Exit(2)
 	}
 }
 

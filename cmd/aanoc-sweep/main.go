@@ -42,6 +42,7 @@ func main() {
 		priority  = flag.Bool("priority", true, "serve demand requests as priority packets")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 		jsonOut   = flag.String("json", "", "also write each point's obs report as JSON to this file")
+		checked   = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
 	)
 	flag.Parse()
 	app, err := appmodel.ByName(*appName)
@@ -51,6 +52,7 @@ func main() {
 	base := system.Config{
 		App: app, Gen: dram.Generation(*gen),
 		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
+		Checked: *checked,
 	}
 
 	// Build the grid: one label + config per point, in emission order.
@@ -103,8 +105,16 @@ func main() {
 		fatal(err)
 	}
 
+	violated := false
+	for i, res := range results {
+		if len(res.Obs.Violations) > 0 {
+			violated = true
+			fmt.Fprintf(os.Stderr, "aanoc-sweep: %s:\n%s",
+				points[i], obs.SummarizeViolations(res.Obs.Violations, 10))
+		}
+	}
+
 	w := csv.NewWriter(os.Stdout)
-	defer w.Flush()
 	head := []string{"point", "util", "useful_util", "lat_all", "lat_priority", "lat_best", "waste_frac", "completed"}
 	if err := w.Write(head); err != nil {
 		fatal(err)
@@ -124,6 +134,10 @@ func main() {
 			fatal(err)
 		}
 	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fatal(err)
+	}
 	if *jsonOut != "" {
 		type pointReport struct {
 			Point string      `json:"point"`
@@ -140,6 +154,9 @@ func main() {
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+	if violated {
+		os.Exit(2)
 	}
 }
 

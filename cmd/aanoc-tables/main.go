@@ -21,6 +21,7 @@ import (
 	"runtime"
 
 	"aanoc"
+	"aanoc/internal/obs"
 )
 
 func main() {
@@ -31,9 +32,10 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 		progress = flag.Bool("progress", false, "report per-grid progress on stderr")
 		jsonOut  = flag.String("json", "", "also write the rows (with per-run obs reports) as JSON to this file")
+		checked  = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
 	)
 	flag.Parse()
-	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
+	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel, Checked: *checked}
 	if *progress {
 		o.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
@@ -62,6 +64,7 @@ func main() {
 		order = []string{*table}
 	}
 	sidecar := map[string][]aanoc.Row{}
+	violations := 0
 	for _, k := range order {
 		d := drivers[k]
 		fmt.Printf("=== %s — %s (%d cycles/run) ===\n", d.name, d.note, *cycles)
@@ -74,12 +77,32 @@ func main() {
 		printRatios(rows)
 		fmt.Println()
 		sidecar["table"+k] = rows
+		if n := aanoc.CheckedViolations(rows); n > 0 {
+			violations += n
+			reportViolations(d.name, rows)
+		}
 	}
 	if *jsonOut != "" {
 		if err := writeSidecar(*jsonOut, sidecar); err != nil {
 			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
 			os.Exit(1)
 		}
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "aanoc-tables: %d invariant violation(s) across the grids\n", violations)
+		os.Exit(2)
+	}
+}
+
+// reportViolations prints each violating row's invariant breaches to
+// stderr, keeping stdout byte-identical to an unchecked run.
+func reportViolations(table string, rows []aanoc.Row) {
+	for _, r := range rows {
+		if r.Obs == nil || len(r.Obs.Violations) == 0 {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "aanoc-tables: %s %s/DDR%d/%s:\n%s",
+			table, r.App, r.Gen, r.Design, obs.SummarizeViolations(r.Obs.Violations, 10))
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/obs"
 	"aanoc/internal/system"
 	"aanoc/internal/trace"
 )
@@ -31,6 +32,7 @@ func main() {
 		cycles   = flag.Int64("cycles", 100_000, "simulated cycles")
 		seed     = flag.Uint64("seed", 0, "RNG seed")
 		priority = flag.Bool("priority", true, "serve demand requests as priority packets")
+		checked  = flag.Bool("checked", false, "run under the invariant layer (internal/check); violations go to stderr and exit status 2")
 	)
 	flag.Parse()
 	if (*record == "") == (*replay == "") {
@@ -43,6 +45,7 @@ func main() {
 	base := system.Config{
 		App: app, Gen: dram.Generation(*gen),
 		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
+		Checked: *checked,
 	}
 
 	if *record != "" {
@@ -68,6 +71,9 @@ func main() {
 		}
 		fmt.Printf("recorded %d requests from %s on %s/%s (util %.3f) to %s\n",
 			w.Count(), d, res.App, res.Gen, res.Utilization, *record)
+		if complain(res.Obs.Violations, d) {
+			os.Exit(2)
+		}
 		return
 	}
 
@@ -92,6 +98,7 @@ func main() {
 		designs = append(designs, d)
 	}
 	fmt.Printf("%-14s %8s %10s %10s %10s\n", "design", "util", "lat-all", "lat-pri", "completed")
+	violated := false
 	for _, d := range designs {
 		cfg := base
 		cfg.Design = d
@@ -102,7 +109,24 @@ func main() {
 		}
 		fmt.Printf("%-14s %8.3f %10.0f %10.0f %10d\n",
 			d, res.Utilization, res.LatAll, res.LatPriority, res.Completed)
+		if complain(res.Obs.Violations, d) {
+			violated = true
+		}
 	}
+	if violated {
+		os.Exit(2)
+	}
+}
+
+// complain reports a run's invariant violations on stderr; stdout stays
+// byte-identical to an unchecked run.
+func complain(vs []obs.Violation, d system.Design) bool {
+	if len(vs) == 0 {
+		return false
+	}
+	fmt.Fprintf(os.Stderr, "aanoc-trace: %d invariant violation(s) on %s:\n%s",
+		len(vs), d, obs.SummarizeViolations(vs, 20))
+	return true
 }
 
 func fatal(err error) {

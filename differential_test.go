@@ -1,0 +1,102 @@
+package aanoc
+
+// Differential harness: capture one memory-request trace, replay it
+// through every design with the invariant layer armed, and require (a)
+// zero violations anywhere and (b) the cross-design metric orderings the
+// paper's story depends on. Because every design consumes the identical
+// workload, any divergence is the design's doing, not the generator's.
+
+import (
+	"bytes"
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/system"
+	"aanoc/internal/trace"
+)
+
+const diffCycles = 20_000
+
+func TestDifferentialReplayAllDesigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system differential replay")
+	}
+	// Capture from the [4]-style baseline — the paper's reference point —
+	// with checking on: the recording run must be clean too.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	rec, err := system.Run(system.Config{
+		App: appmodel.BluRay(), Gen: dram.DDR2, Design: system.SDRAMAware,
+		Cycles: diffCycles, Seed: 0, PriorityDemand: true,
+		Trace: w, Checked: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Obs.Violations) != 0 {
+		t.Fatalf("violations while recording: %v", rec.Obs.Violations)
+	}
+	if w.Count() == 0 {
+		t.Fatal("recorded an empty trace")
+	}
+
+	records, err := trace.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("re-reading the captured trace: %v", err)
+	}
+	if int64(len(records)) != w.Count() {
+		t.Fatalf("trace round trip lost records: wrote %d, read %d", w.Count(), len(records))
+	}
+
+	results := map[system.Design]Result{}
+	for _, d := range system.Designs() {
+		res, err := system.Run(system.Config{
+			App: appmodel.BluRay(), Gen: dram.DDR2, Design: d,
+			Cycles: diffCycles, Seed: 0, PriorityDemand: true,
+			Replay: records, Checked: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if !res.Obs.Checked {
+			t.Errorf("%s: replay report not marked Checked", d)
+		}
+		if len(res.Obs.Violations) != 0 {
+			t.Errorf("%s: violations on replay: %v", d, res.Obs.Violations)
+		}
+		// Per-design sanity on the shared workload.
+		if res.Completed <= 0 {
+			t.Errorf("%s: completed nothing", d)
+		}
+		if res.Completed > int64(len(records)) {
+			t.Errorf("%s: completed %d of only %d recorded requests", d, res.Completed, len(records))
+		}
+		if res.Utilization <= 0 || res.Utilization > 1 {
+			t.Errorf("%s: utilization %.3f outside (0,1]", d, res.Utilization)
+		}
+		if res.LatAll <= 0 {
+			t.Errorf("%s: non-positive mean latency %.1f", d, res.LatAll)
+		}
+		results[d] = res
+	}
+
+	// Cross-design orderings on the identical workload (loose versions of
+	// the shape tests; the guard keeps them meaningful if diffCycles is
+	// ever shrunk).
+	if diffCycles >= 20_000 {
+		conv, ref4 := results[system.Conv], results[system.SDRAMAware]
+		sagm := results[system.GSSSAGM]
+		if conv.Utilization >= ref4.Utilization {
+			t.Errorf("CONV util %.3f should trail [4] %.3f on the same trace",
+				conv.Utilization, ref4.Utilization)
+		}
+		if sagm.WasteFrac > ref4.WasteFrac {
+			t.Errorf("SAGM waste %.3f should not exceed [4] %.3f on the same trace",
+				sagm.WasteFrac, ref4.WasteFrac)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package aanoc
+
+// Golden-report regression corpus: one pinned observability report per
+// design under a fixed small configuration. Any change to simulation
+// behaviour — or to the report schema — shows up as a byte diff against
+// testdata/golden/. Refresh intentionally with
+//
+//	go test -run TestGoldenReports -update
+//
+// and review the diff like any other code change.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/obs"
+	"aanoc/internal/system"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden/ from the current simulator")
+
+// goldenConfig is the pinned scenario. Cycles is a literal, not the
+// AANOC_TEST_CYCLES knob: golden bytes must not depend on the
+// environment.
+func goldenConfig(d system.Design) system.Config {
+	return system.Config{
+		App: appmodel.BluRay(), Gen: dram.DDR2, Design: d,
+		Cycles: 20_000, Seed: 0, PriorityDemand: true,
+	}
+}
+
+var goldenSlugs = []struct {
+	design system.Design
+	slug   string
+}{
+	{system.Conv, "conv"},
+	{system.ConvPFS, "convpfs"},
+	{system.SDRAMAware, "ref4"},
+	{system.SDRAMAwarePFS, "ref4pfs"},
+	{system.GSS, "gss"},
+	{system.GSSSAGM, "sagm"},
+	{system.GSSSAGMSTI, "sti"},
+}
+
+func TestGoldenReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system golden runs")
+	}
+	for _, g := range goldenSlugs {
+		g := g
+		t.Run(g.slug, func(t *testing.T) {
+			res, err := system.Run(goldenConfig(g.design))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.Obs.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", g.slug+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("report for %s diverged from %s (%d vs %d bytes); run with -update and review the diff",
+					g.design, path, buf.Len(), len(want))
+			}
+			// The pinned bytes must stay parseable by the public decoder.
+			if _, err := obs.Parse(want); err != nil {
+				t.Errorf("golden report no longer parses: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+// Package check is the runtime invariant layer of the reproduction: a
+// set of conformance monitors and conservation audits that re-validate,
+// from independently maintained shadow state, the properties the paper's
+// evaluation rests on — JEDEC command legality at the DRAM device,
+// credit/flit conservation in the meshes, token bounds in the GSS
+// engine, and end-of-run request accounting.
+//
+// The layer is enabled per run by system.Config.Checked (and the
+// -checked flag on the CLIs) and costs nothing when off: the simulator
+// carries one nil pointer it never touches. When on, violations either
+// panic at the detection point (Checker.Panic, the mode the test
+// harnesses run under, so a breach pinpoints its cycle) or accumulate
+// into the run's observability report as structured obs.Violation
+// records (the mode the CLIs run under, so a grid can finish and report
+// every breach).
+//
+// The monitors deliberately do not reuse the fast path's own legality
+// logic: the DRAM monitor keeps its own per-bank timing state and
+// re-derives every constraint, so a bug in Device.CanIssue (or a
+// controller bypassing it) cannot self-certify.
+package check
+
+import (
+	"fmt"
+
+	"aanoc/internal/obs"
+)
+
+// Checker collects invariant violations for one simulation run.
+type Checker struct {
+	// Panic makes the first violation panic with its description —
+	// the mode tests run under, so a breach fails loudly at its cycle.
+	Panic bool
+	// Limit caps the collected violations (0 selects DefaultLimit); a
+	// systematically broken run would otherwise accumulate one record
+	// per cycle. Dropped counts the overflow.
+	Limit   int
+	Dropped int64
+
+	violations []obs.Violation
+}
+
+// DefaultLimit bounds collected violations per run.
+const DefaultLimit = 100
+
+// Report records one violation, panicking in Panic mode.
+func (c *Checker) Report(v obs.Violation) {
+	if c.Panic {
+		panic("check: " + v.String())
+	}
+	limit := c.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	if len(c.violations) >= limit {
+		c.Dropped++
+		return
+	}
+	c.violations = append(c.violations, v)
+}
+
+// Reportf builds and records a violation.
+func (c *Checker) Reportf(cycle int64, component, kind, format string, args ...any) {
+	c.Report(obs.Violation{
+		Cycle: cycle, Component: component, Kind: kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// Violations returns the collected violations (nil when clean).
+func (c *Checker) Violations() []obs.Violation { return c.violations }
+
+// Count returns the number of violations recorded, including dropped
+// ones.
+func (c *Checker) Count() int64 { return int64(len(c.violations)) + c.Dropped }

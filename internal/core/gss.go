@@ -329,6 +329,27 @@ func (g *GSS) betterOf(cands []noc.Candidate, cur, alt int) int {
 	return cur
 }
 
+// AuditTokens is the checked-mode walk over the controller's token
+// table: every resident entry must hold at least one token (arrivals
+// start at 1 or PCT and aging only adds), and the configured PCT must
+// sit inside the filter-tree range its Validate accepted. Token counts
+// above MaxTokens are legal — aging is unbounded and Select clamps at
+// the always-pass tier — so they are not flagged. Each violation is
+// reported through the closure.
+func (g *GSS) AuditTokens(report func(kind, format string, args ...any)) {
+	if g.cfg.PCT < 1 || g.cfg.PCT > g.cfg.MaxTokens() {
+		report("pct-bound", "PCT %d outside [1,%d]", g.cfg.PCT, g.cfg.MaxTokens())
+	}
+	for p, e := range g.entries {
+		if e.tokens < 1 {
+			report("token-bound", "resident packet %d holds %d tokens", p.ID, e.tokens)
+		}
+		if e.seq <= 0 || e.seq > g.nextSeq {
+			report("token-bound", "resident packet %d carries sequence %d outside (0,%d]", p.ID, e.seq, g.nextSeq)
+		}
+	}
+}
+
 // OnScheduled records the grant: the packet becomes h(n), leaves the token
 // table, and — when it carries an AP tag under STI — arms the bank idle
 // counter with the router-side estimate of when the auto-precharged bank

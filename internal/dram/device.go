@@ -57,9 +57,32 @@ type Device struct {
 
 	// Observer, when set, is invoked for every accepted command with its
 	// data window (zero for non-column commands) — the hook behind the
-	// timing-diagram renderer and command-trace tests.
+	// timing-diagram renderer, the checked-mode conformance monitor, and
+	// command-trace tests.
 	Observer func(now int64, cmd Command, w DataWindow)
+
+	fault Fault
 }
+
+// Fault selects a deliberately broken legality rule for mutation
+// testing: the checked-mode test suite arms one, drives the simulator,
+// and asserts the internal/check conformance monitor reports the
+// resulting protocol breach. FaultNone (the zero value) is a fully
+// conformant device.
+type Fault int
+
+const (
+	FaultNone Fault = iota
+	// FaultSkipTRCD drops the ACTIVATE-to-CAS spacing check, letting
+	// controllers issue column commands into a still-opening row.
+	FaultSkipTRCD
+	// FaultSkipTFAW drops the four-activate-window check.
+	FaultSkipTFAW
+)
+
+// InjectFault arms one legality-rule fault. Test-only: it exists so the
+// mutation smoke test can prove the conformance monitor has teeth.
+func (d *Device) InjectFault(f Fault) { d.fault = f }
 
 // NewDevice constructs a device with all banks idle at cycle 0.
 func NewDevice(t Timing) (*Device, error) {
@@ -243,7 +266,7 @@ func (d *Device) checkIssue(cmd Command, now int64) error {
 		if now < d.lastActAny+d.t.TRRD {
 			return refuse("ACT violates tRRD")
 		}
-		if d.t.TFAW > 0 && now < d.actTimes[0]+d.t.TFAW {
+		if d.t.TFAW > 0 && now < d.actTimes[0]+d.t.TFAW && d.fault != FaultSkipTFAW {
 			return refuse("ACT violates tFAW (four-activate window)")
 		}
 	case CmdRead, CmdWrite:
@@ -257,7 +280,7 @@ func (d *Device) checkIssue(cmd Command, now int64) error {
 		if b.apPending {
 			return refuse("%s to bank %d with pending auto-precharge", cmd.Kind, cmd.Bank)
 		}
-		if now < b.casAllowedAt {
+		if now < b.casAllowedAt && d.fault != FaultSkipTRCD {
 			return refuse("%s violates tRCD on bank %d", cmd.Kind, cmd.Bank)
 		}
 		if now < d.lastCAS+d.t.TCCD {

@@ -1,0 +1,138 @@
+package noc
+
+// Audit is the checked-mode conservation walk over one mesh. It verifies,
+// from the live structures, the invariants credit-based wormhole flow
+// control is supposed to maintain:
+//
+//   - credit conservation: for every link and VC, sender credits +
+//     the in-flight flit + downstream buffer occupancy + credits in
+//     flight back equals the downstream buffer capacity, and the sender's
+//     count never leaves [0, capacity];
+//   - buffer coherence: each input buffer's occupancy equals the sum of
+//     its packets' resident flits (Arrived − Sent), arrivals never exceed
+//     the packet length, and only the head packet of a VC has forwarded
+//     flits (wormhole ordering);
+//   - transfer validity: an output VC's active wormhole transfer always
+//     references the head packet of its input buffer;
+//   - flit conservation: every flit injectors launched is either resident
+//     (in a buffer or on a link) or was drained by a sink — injected
+//     flits are delivered exactly once, none duplicated or lost.
+//
+// Violations are reported through the closure so the package stays free
+// of checker dependencies; callers bind it to their Checker.
+func (m *Mesh) Audit(report func(kind, format string, args ...any)) {
+	for i, l := range m.links {
+		m.auditLink(i, l, report)
+	}
+	for _, r := range m.Routers {
+		for port, in := range r.In {
+			for vc, b := range in.bufs {
+				auditBuffer(b, report, "router %v in %s vc %d", r.Pos, PortName(port), vc)
+			}
+		}
+		for port, o := range r.Out {
+			if o.link == nil {
+				continue
+			}
+			for vc, a := range o.active {
+				if a == nil {
+					continue
+				}
+				if a.buf.head() != a.pp {
+					report("transfer-order", "router %v out %s vc %d: active transfer is not its buffer head",
+						r.Pos, PortName(port), vc)
+				}
+				if a.pp.Sent >= a.pp.Pkt.Flits {
+					report("transfer-order", "router %v out %s vc %d: active transfer already sent %d/%d flits",
+						r.Pos, PortName(port), vc, a.pp.Sent, a.pp.Pkt.Flits)
+				}
+			}
+		}
+	}
+	var resident int64
+	for _, r := range m.Routers {
+		for _, in := range r.In {
+			resident += int64(in.occupied())
+		}
+	}
+	for i, s := range m.sinks {
+		for vc, b := range s.port.bufs {
+			auditBuffer(b, report, "sink %d vc %d", i, vc)
+		}
+		resident += int64(s.port.occupied())
+	}
+	var inFlight, launched, drained int64
+	for _, l := range m.links {
+		if l.pendingFlit != nil {
+			inFlight++
+		}
+	}
+	for _, inj := range m.injectors {
+		launched += inj.launched
+	}
+	for _, s := range m.sinks {
+		drained += s.drained
+	}
+	if launched != resident+inFlight+drained {
+		report("flit-conservation",
+			"%d flits launched but %d resident + %d in flight + %d drained",
+			launched, resident, inFlight, drained)
+	}
+}
+
+// auditLink checks the credit loop of one link: every VC's credit supply
+// is partitioned between the sender, the wires, and the downstream
+// buffer, and the partition always sums to the buffer capacity.
+func (l *Link) auditCounts(vc int) (balance, inFlight, occupied, pending, capacity int) {
+	balance = l.creditTo.creditBalance(vc)
+	if l.pendingFlit != nil && l.pendingFlit.vc == vc {
+		inFlight = 1
+	}
+	b := l.dst.bufs[vc]
+	return balance, inFlight, b.occupied, l.pendingCredits[vc], b.capacity
+}
+
+func (m *Mesh) auditLink(idx int, l *Link, report func(kind, format string, args ...any)) {
+	if l.creditTo == nil {
+		return
+	}
+	for vc := range l.dst.bufs {
+		bal, fly, occ, pend, cap := l.auditCounts(vc)
+		if bal < 0 || bal > cap {
+			report("credit-bound", "link %d vc %d: sender holds %d credits for a %d-flit buffer",
+				idx, vc, bal, cap)
+		}
+		if bal+fly+occ+pend != cap {
+			report("credit-conservation",
+				"link %d vc %d: credits %d + in-flight %d + buffered %d + returning %d != capacity %d",
+				idx, vc, bal, fly, occ, pend, cap)
+		}
+	}
+}
+
+// auditBuffer checks one VC buffer's packet accounting and wormhole
+// ordering. where/args name the buffer in violation messages.
+func auditBuffer(b *InputBuffer, report func(kind, format string, args ...any), where string, args ...any) {
+	at := func(kind, format string, extra ...any) {
+		report(kind, where+": "+format, append(append([]any{}, args...), extra...)...)
+	}
+	if b.occupied < 0 || b.occupied > b.capacity {
+		at("buffer-bound", "occupancy %d outside [0,%d]", b.occupied, b.capacity)
+	}
+	total := 0
+	for i, pp := range b.packets {
+		if pp.Sent < 0 || pp.Arrived < pp.Sent {
+			at("buffer-accounting", "packet %d sent %d of %d arrived flits", i, pp.Sent, pp.Arrived)
+		}
+		if pp.Arrived > pp.Pkt.Flits {
+			at("buffer-accounting", "packet %d arrived %d flits of a %d-flit packet", i, pp.Arrived, pp.Pkt.Flits)
+		}
+		if i > 0 && pp.Sent > 0 {
+			at("wormhole-order", "non-head packet %d has %d forwarded flits", i, pp.Sent)
+		}
+		total += pp.Arrived - pp.Sent
+	}
+	if total != b.occupied {
+		at("buffer-accounting", "resident flits %d != occupancy %d", total, b.occupied)
+	}
+}

@@ -2,8 +2,12 @@ package noc
 
 // creditReceiver is anything that receives returned flow-control credits:
 // router output ports and injectors. Credits are per virtual channel.
+// creditBalance exposes the current count to the checked-mode audit,
+// which verifies the credit loop of every link conserves exactly the
+// downstream buffer capacity.
 type creditReceiver interface {
 	addCredits(vc, n int)
+	creditBalance(vc int) int
 }
 
 type flitMsg struct {

@@ -74,7 +74,9 @@ type Mesh struct {
 	Routers       []*Router
 	vcs           int
 
-	links []*Link
+	links     []*Link
+	injectors []*Injector
+	sinks     []*Sink
 }
 
 // NewMesh builds a single-virtual-channel (classic wormhole) mesh with
@@ -158,6 +160,7 @@ func (m *Mesh) AttachInjector(c Coord) *Injector {
 	}
 	inj.link = newLink(r.In[PortLocal], inj)
 	m.links = append(m.links, inj.link)
+	m.injectors = append(m.injectors, inj)
 	return inj
 }
 
@@ -174,6 +177,7 @@ func (m *Mesh) AttachSink(c Coord, queueFlits, maxReady int) *Sink {
 		r.Out[PortLocal].credits[vc] = queueFlits
 	}
 	m.links = append(m.links, l)
+	m.sinks = append(m.sinks, s)
 	return s
 }
 

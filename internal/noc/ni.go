@@ -13,8 +13,9 @@ type Injector struct {
 	queues [][]*Packet
 	sent   []int // flits of each VC's queue head already launched
 
-	queuedFlits int // unsent flits across VCs, maintained incrementally
-	flitsHWM    int // high-water mark of queuedFlits over the run
+	queuedFlits int   // unsent flits across VCs, maintained incrementally
+	flitsHWM    int   // high-water mark of queuedFlits over the run
+	launched    int64 // cumulative flits launched into the mesh
 
 	// OnFirstFlit, when set, is invoked as a packet's head flit enters
 	// the network — the reference point for network-entry latency.
@@ -31,6 +32,13 @@ func newInjector(at Coord, vcs int) *Injector {
 }
 
 func (inj *Injector) addCredits(vc, n int) { inj.credits[vc] += n }
+
+func (inj *Injector) creditBalance(vc int) int { return inj.credits[vc] }
+
+// LaunchedFlits returns the cumulative number of flits this injector has
+// launched into the mesh — one side of the audit's flit-conservation
+// ledger.
+func (inj *Injector) LaunchedFlits() int64 { return inj.launched }
 
 // At returns the mesh coordinate the injector is attached to.
 func (inj *Injector) At() Coord { return inj.at }
@@ -80,6 +88,7 @@ func (inj *Injector) Step(now int64) {
 		inj.credits[vc]--
 		inj.sent[vc]++
 		inj.queuedFlits--
+		inj.launched++
 		if inj.sent[vc] == p.Flits {
 			inj.queues[vc] = q[1:]
 			inj.sent[vc] = 0
@@ -101,7 +110,8 @@ type Sink struct {
 	maxReady int
 	partial  []int // flits of each VC's head packet already drained
 	ready    []*Packet
-	readyHWM int // high-water mark of the ready list over the run
+	readyHWM int   // high-water mark of the ready list over the run
+	drained  int64 // cumulative flits drained out of the credit buffers
 }
 
 func newSink(vcs, queueFlits, maxReady int) *Sink {
@@ -131,6 +141,7 @@ func (s *Sink) drainVC(vc int) {
 		for pp.Arrived > pp.Sent {
 			pp.Sent++
 			s.partial[vc]++
+			s.drained++
 			buf.occupied--
 			if buf.feed != nil {
 				buf.feed.returnCredit(vc)
@@ -180,3 +191,8 @@ func (s *Sink) Ready() int { return len(s.ready) }
 // ReadyHWM returns the high-water mark of the ready list — how close the
 // consumer came to letting backpressure propagate into the mesh.
 func (s *Sink) ReadyHWM() int { return s.readyHWM }
+
+// DrainedFlits returns the cumulative number of flits drained from the
+// sink's credit buffers — the delivery side of the audit's
+// flit-conservation ledger.
+func (s *Sink) DrainedFlits() int64 { return s.drained }

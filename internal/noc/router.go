@@ -56,6 +56,8 @@ type OutputPort struct {
 
 func (o *OutputPort) addCredits(vc, n int) { o.credits[vc] += n }
 
+func (o *OutputPort) creditBalance(vc int) int { return o.credits[vc] }
+
 // Connected reports whether the port has a downstream link (edge ports of
 // the mesh are left unwired unless a sink is attached).
 func (o *OutputPort) Connected() bool { return o.link != nil }

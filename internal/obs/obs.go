@@ -57,6 +57,60 @@ type Report struct {
 	// series, one entry per interval boundary (absent when sampling off).
 	SampleEvery int64    `json:"sampleEvery,omitempty"`
 	Samples     []Sample `json:"samples,omitempty"`
+
+	// Checked marks a run executed under the internal/check invariant
+	// layer (Config.Checked); Violations lists every invariant breach the
+	// checkers recorded. A checked run of a healthy simulator carries
+	// Checked=true and an empty Violations list. Both fields are absent
+	// from unchecked runs, so default JSON sidecars are byte-identical
+	// whether or not the binary knows about checked mode.
+	Checked    bool        `json:"checked,omitempty"`
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Violation is one invariant breach recorded by the internal/check
+// layer: which component broke which rule, at which cycle, with enough
+// detail to reproduce. The type lives here (pure data) so the report can
+// carry violations without obs depending on the checker implementation.
+type Violation struct {
+	// Cycle is the simulation cycle the breach was detected at (-1 for
+	// end-of-run accounting checks that have no single cycle).
+	Cycle int64 `json:"cycle"`
+	// Component names the checked subsystem: "dram", "noc/request",
+	// "noc/response", "gss", "runner", "obs".
+	Component string `json:"component"`
+	// Kind is the invariant that broke: a timing parameter ("tFAW",
+	// "tRCD"), a conservation law ("credit-conservation",
+	// "flit-conservation", "request-accounting"), or a cross-check name.
+	Kind string `json:"kind"`
+	// Detail is a human-readable description with the offending values.
+	Detail string `json:"detail"`
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s: %s: %s", v.Cycle, v.Component, v.Kind, v.Detail)
+}
+
+// SummarizeViolations renders up to max violations, one per line, with a
+// trailing count when more were recorded — the CLIs' stderr rendering.
+func SummarizeViolations(vs []Violation, max int) string {
+	if len(vs) == 0 {
+		return ""
+	}
+	var b []byte
+	n := len(vs)
+	if max > 0 && n > max {
+		n = max
+	}
+	for _, v := range vs[:n] {
+		b = append(b, v.String()...)
+		b = append(b, '\n')
+	}
+	if n < len(vs) {
+		b = append(b, fmt.Sprintf("... and %d more violations\n", len(vs)-n)...)
+	}
+	return string(b)
 }
 
 // Latencies digests every latency accumulator of the run. All primary
@@ -201,6 +255,8 @@ func (r *Report) Validate() error {
 		return fmt.Errorf("obs: report has no per-bank breakdown")
 	case r.SampleEvery == 0 && len(r.Samples) > 0:
 		return fmt.Errorf("obs: samples present without a sampling interval")
+	case !r.Checked && len(r.Violations) > 0:
+		return fmt.Errorf("obs: violations recorded outside checked mode")
 	}
 	for _, s := range r.Samples {
 		if s.Cycle <= 0 || s.Cycle > r.Cycles {

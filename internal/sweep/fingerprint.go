@@ -37,15 +37,17 @@ func Fingerprint(cfg system.Config) (string, bool) {
 			fmt.Fprintf(h, "stream=%+v|", s)
 		}
 	}
-	// SampleEvery is part of the key although it never perturbs the
-	// simulation: a sampled run's Result carries the time series, so it
-	// must not be served from (or into) an unsampled point's cache entry.
+	// SampleEvery and Checked are part of the key although they never
+	// perturb the simulation: a sampled run's Result carries the time
+	// series and a checked run's report carries the Checked/Violations
+	// fields, so neither may be served from (or into) a differently
+	// configured point's cache entry.
 	fmt.Fprintf(h,
-		"gen=%d clk=%d design=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t sample=%d|",
+		"gen=%d clk=%d design=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t sample=%d chk=%t|",
 		c.Gen, c.ClockMHz, c.Design, c.PCT, c.GSSRouters, c.PriorityDemand,
 		c.Cycles, c.Warmup, c.Seed, c.BufFlits, c.VirtualChannels,
 		c.AdaptiveRouting, c.InjectCap, c.MemPipeline, c.SplitGranularity,
-		c.TagEveryRequest, c.SampleEvery)
+		c.TagEveryRequest, c.SampleEvery, c.Checked)
 	if c.PagePolicy != nil {
 		fmt.Fprintf(h, "page=%d|", *c.PagePolicy)
 	}

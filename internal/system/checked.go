@@ -1,0 +1,140 @@
+package system
+
+import (
+	"aanoc/internal/check"
+	"aanoc/internal/obs"
+)
+
+// This file wires the internal/check invariant layer into the runner.
+// Checking points, mirroring the DESIGN.md observability counting-points
+// note:
+//
+//   - DRAM protocol conformance: a check.DRAMMonitor installed as the
+//     device's Observer re-validates every accepted command against
+//     shadow timing state, independent of Device.CanIssue.
+//   - NoC conservation: Mesh.Audit runs over both meshes at the end of
+//     every Runner.Step — credit loops, buffer coherence, wormhole
+//     ordering, and the launched-vs-delivered flit ledger.
+//   - End-of-run accounting: finalChecks in Runner.Finish — logical
+//     request conservation overall and per core, split-chain pending
+//     bounds, GSS token-table bounds, and cross-checks of the assembled
+//     obs report against the device counters.
+
+// installChecks arms the invariant layer; called from New when
+// Config.Checked is set.
+func (r *Runner) installChecks() {
+	r.chk = &check.Checker{Panic: r.cfg.CheckedPanic}
+	r.genPerCore = make([]int64, len(r.cores))
+	mon := check.NewDRAMMonitor(r.chk, r.timing)
+	r.dev.Observer = mon.Observe
+}
+
+// auditMeshes runs the conservation walk over both meshes, binding each
+// to its component name.
+func (r *Runner) auditMeshes(now int64) {
+	r.reqMesh.Audit(func(kind, format string, args ...any) {
+		r.chk.Reportf(now, "noc/request", kind, format, args...)
+	})
+	r.respMesh.Audit(func(kind, format string, args ...any) {
+		r.chk.Reportf(now, "noc/response", kind, format, args...)
+	})
+}
+
+// finalChecks performs the end-of-run accounting and attaches the
+// collected violations to the report. Cycle -1 marks whole-run checks.
+func (r *Runner) finalChecks(rep *obs.Report) {
+	c := r.chk
+	r.auditMeshes(r.now)
+
+	// Logical request conservation: every generated request is completed
+	// or still outstanding in the parents table.
+	outstanding := int64(len(r.parents))
+	if r.met.Generated != r.met.Completed+outstanding {
+		c.Reportf(-1, "runner", "request-accounting",
+			"generated %d != completed %d + outstanding %d",
+			r.met.Generated, r.met.Completed, outstanding)
+	}
+	// Split-chain bounds and the per-core ledger.
+	perCore := make([]int64, len(r.cores))
+	for id, l := range r.parents {
+		if l.pending < 1 {
+			c.Reportf(-1, "runner", "split-accounting",
+				"outstanding request %d has %d pending splits", id, l.pending)
+		}
+		if l.core >= 0 && l.core < len(perCore) {
+			perCore[l.core]++
+		}
+	}
+	for i := range r.cores {
+		if r.genPerCore[i] != r.coreStats[i].Completed+perCore[i] {
+			c.Reportf(-1, "runner", "request-accounting",
+				"core %s generated %d != completed %d + outstanding %d",
+				r.cores[i].spec.Name, r.genPerCore[i], r.coreStats[i].Completed, perCore[i])
+		}
+	}
+	// GSS token tables.
+	for _, g := range r.gssAllocs {
+		g.AuditTokens(func(kind, format string, args ...any) {
+			c.Reportf(-1, "gss", kind, format, args...)
+		})
+	}
+	r.checkReport(rep)
+
+	rep.Checked = true
+	rep.Violations = c.Violations()
+}
+
+// checkReport cross-checks the assembled observability report against
+// the device counters it claims to summarise.
+func (r *Runner) checkReport(rep *obs.Report) {
+	c := r.chk
+	if rep.Utilization < 0 || rep.Utilization > 1 {
+		c.Reportf(-1, "obs", "utilization-bound", "utilization %v outside [0,1]", rep.Utilization)
+	}
+	if rep.Generated < rep.Completed {
+		c.Reportf(-1, "obs", "request-accounting",
+			"report completed %d exceeds generated %d", rep.Completed, rep.Generated)
+	}
+	for name, ms := range map[string]obs.MeshStats{
+		"request": rep.Network.Request, "response": rep.Network.Response,
+	} {
+		for _, l := range ms.Links {
+			if l.BusyCycles < 0 || l.BusyCycles > rep.Cycles {
+				c.Reportf(-1, "obs", "link-busy-bound",
+					"%s mesh %s %s busy %d cycles of a %d-cycle run",
+					name, l.Router, l.Port, l.BusyCycles, rep.Cycles)
+			}
+			if l.Grants < 0 || l.Grants > l.BusyCycles {
+				c.Reportf(-1, "obs", "link-grant-bound",
+					"%s mesh %s %s granted %d packets over %d busy cycles",
+					name, l.Router, l.Port, l.Grants, l.BusyCycles)
+			}
+		}
+	}
+	// The per-bank breakdown must sum to the device's command totals.
+	st := r.dev.Stats()
+	var acts, reads, writes, pres, aps int64
+	for _, b := range rep.Memory.Banks {
+		acts += b.Activates
+		reads += b.Reads
+		writes += b.Writes
+		pres += b.Precharges
+		aps += b.AutoPre
+	}
+	for _, mismatch := range []struct {
+		name       string
+		sum, total int64
+	}{
+		{"activates", acts, st.Activates},
+		{"reads", reads, st.Reads},
+		{"writes", writes, st.Writes},
+		{"precharges", pres, st.Precharges},
+		{"auto-precharges", aps, st.AutoPre},
+	} {
+		if mismatch.sum != mismatch.total {
+			c.Reportf(-1, "obs", "bank-breakdown",
+				"per-bank %s sum to %d, device counted %d",
+				mismatch.name, mismatch.sum, mismatch.total)
+		}
+	}
+}

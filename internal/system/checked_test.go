@@ -1,0 +1,133 @@
+package system
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+)
+
+// TestCheckedCleanAcrossDesigns runs every design point under the full
+// invariant layer in panic mode: any protocol or conservation breach
+// fails the test at its cycle, and a clean run must report Checked with
+// an empty violation list.
+func TestCheckedCleanAcrossDesigns(t *testing.T) {
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			res, err := Run(Config{
+				App: appmodel.BluRay(), Gen: dram.DDR2, Design: d,
+				Cycles: 8_000, Seed: 5, PriorityDemand: true,
+				CheckedPanic: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Obs.Checked {
+				t.Error("report of a checked run not marked Checked")
+			}
+			if len(res.Obs.Violations) != 0 {
+				t.Errorf("violations on a clean run: %v", res.Obs.Violations)
+			}
+			if err := res.Obs.Validate(); err != nil {
+				t.Errorf("checked report invalid: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckedDoesNotPerturbResults: the monitors only observe — a
+// checked run must produce exactly the measurements of an unchecked run
+// of the same configuration.
+func TestCheckedDoesNotPerturbResults(t *testing.T) {
+	base := Config{
+		App: appmodel.DualDTV(), Gen: dram.DDR3, Design: GSSSAGMSTI,
+		Cycles: 10_000, Seed: 21, PriorityDemand: true,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := base
+	chk.Checked = true
+	checked, err := Run(chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The observability reports legitimately differ in the Checked flag;
+	// everything else must match byte for byte.
+	plain.Obs.Checked, checked.Obs.Checked = false, false
+	if !reflect.DeepEqual(plain, checked) {
+		t.Error("checked run diverged from unchecked run of the same config")
+	}
+}
+
+// TestCheckedPropertyRandomConfigs drives randomized configurations
+// through checked panic mode: whatever the knob combination, the
+// invariants must hold. The rand seed is fixed, so the sampled grid is
+// deterministic.
+func TestCheckedPropertyRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	apps := appmodel.Apps()
+	gens := []dram.Generation{dram.DDR1, dram.DDR2, dram.DDR3}
+	designs := Designs()
+	for i := 0; i < 12; i++ {
+		cfg := Config{
+			App:             apps[rng.Intn(len(apps))],
+			Gen:             gens[rng.Intn(len(gens))],
+			Design:          designs[rng.Intn(len(designs))],
+			PCT:             1 + rng.Intn(5),
+			Cycles:          2_000 + int64(rng.Intn(2_000)),
+			Seed:            rng.Uint64(),
+			BufFlits:        []int{4, 8}[rng.Intn(2)],
+			VirtualChannels: 1 + rng.Intn(2),
+			PriorityDemand:  rng.Intn(2) == 0,
+			TagEveryRequest: rng.Intn(2) == 0,
+			AdaptiveRouting: rng.Intn(2) == 0,
+			SampleEvery:     int64(rng.Intn(2)) * 500,
+			CheckedPanic:    true,
+		}
+		t.Run(cfg.Design.String()+"/"+cfg.App.Name, func(t *testing.T) {
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Obs.Violations) != 0 {
+				t.Errorf("violations: %v", res.Obs.Violations)
+			}
+		})
+	}
+}
+
+// TestCheckedMutationCatchesSkippedTRCD is the mutation smoke test: arm
+// the device fault that skips the tRCD legality check, run a normal
+// workload, and require the conformance monitor to flag the early CAS
+// commands the broken fast path now lets through. If this test fails,
+// checked mode is vacuous.
+func TestCheckedMutationCatchesSkippedTRCD(t *testing.T) {
+	r, err := New(Config{
+		App: appmodel.BluRay(), Gen: dram.DDR2, Design: GSS,
+		Cycles: 6_000, Seed: 3, PriorityDemand: true,
+		Checked: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Device().InjectFault(dram.FaultSkipTRCD)
+	for i := int64(0); i < 6_000; i++ {
+		r.Step()
+	}
+	res := r.Finish()
+	found := false
+	for _, v := range res.Obs.Violations {
+		if v.Component == "dram" && v.Kind == "tRCD" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("monitor missed the injected tRCD bug; violations: %v", res.Obs.Violations)
+	}
+}

@@ -41,19 +41,34 @@ func TestWithDefaultsPinned(t *testing.T) {
 }
 
 // TestWarmupSentinel covers the explicit-zero contract: zero selects the
-// default warmup, the -1 sentinel selects no warmup at all.
+// default warmup, the -1 sentinel selects no warmup at all. The sentinel
+// survives resolution (it may not resolve to 0, which would re-fill the
+// default on a second resolve) — resolution must be idempotent, or
+// sweep fingerprints of resolved configs would drift.
 func TestWarmupSentinel(t *testing.T) {
 	base := Config{App: appmodel.BluRay(), Gen: dram.DDR2, Cycles: 50_000}
 	if got := base.Resolved().Warmup; got != 5_000 {
 		t.Errorf("implicit warmup = %d, want Cycles/10 = 5000", got)
 	}
 	base.Warmup = -1
-	if got := base.Resolved().Warmup; got != 0 {
-		t.Errorf("sentinel warmup = %d, want 0", got)
+	if got := base.Resolved().Warmup; got != -1 {
+		t.Errorf("sentinel warmup = %d, want -1 (preserved)", got)
+	}
+	if got := base.Resolved().Resolved().Warmup; got != -1 {
+		t.Errorf("re-resolved sentinel warmup = %d, want -1 (idempotent)", got)
 	}
 	base.Warmup = 123
 	if got := base.Resolved().Warmup; got != 123 {
 		t.Errorf("explicit warmup = %d, want 123", got)
+	}
+	// The report never shows the sentinel: a no-warmup run reports 0.
+	base.Warmup = -1
+	res, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs.Warmup != 0 {
+		t.Errorf("report warmup = %d, want 0", res.Obs.Warmup)
 	}
 }
 

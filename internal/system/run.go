@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"aanoc/internal/appmodel"
+	"aanoc/internal/check"
 	"aanoc/internal/core"
 	"aanoc/internal/dram"
 	"aanoc/internal/mapping"
@@ -40,8 +41,9 @@ type Config struct {
 	Cycles int64
 	// Warmup is the cycle latency samples start after (default Cycles/10).
 	// Zero selects the default; an explicit no-warmup run is requested
-	// with the sentinel -1 (resolved to warmup 0), since the zero value
-	// cannot express it.
+	// with the sentinel -1, since the zero value cannot express it. The
+	// sentinel survives Resolved (it normalises any negative value to -1,
+	// keeping resolution idempotent) and samples from cycle 0.
 	Warmup int64
 	// Seed seeds the deterministic RNG. Zero selects the fixed default
 	// seed 0xA11CE — the zero value must be runnable and deterministic —
@@ -87,6 +89,19 @@ type Config struct {
 	// is collected either way. Sampling never feeds back into the
 	// simulation, so it cannot perturb results.
 	SampleEvery int64
+
+	// Checked enables the internal/check invariant layer: a DRAM protocol
+	// conformance monitor on the device's command stream, per-cycle
+	// credit/flit conservation audits over both meshes, and end-of-run
+	// request/token/report accounting. Costs nothing when off (one nil
+	// check per cycle); when on, violations accumulate into
+	// Result.Obs.Violations. Checked runs produce the same simulation
+	// results as unchecked runs — the monitors only observe.
+	Checked bool
+	// CheckedPanic makes the first violation panic at its detection point
+	// instead of accumulating — the mode the test harnesses run under, so
+	// a breach pinpoints its cycle. Implies Checked.
+	CheckedPanic bool
 
 	// TagEveryRequest reverts to the paper's literal partially-open-page
 	// policy: every logical request's last split carries the AP tag, so
@@ -167,7 +182,11 @@ func (c Config) withDefaults() Config {
 	if c.Warmup == 0 {
 		c.Warmup = c.Cycles / 10
 	} else if c.Warmup < 0 {
-		c.Warmup = 0 // the -1 sentinel: an explicit no-warmup run
+		// The -1 sentinel (an explicit no-warmup run) must not resolve to
+		// 0: re-resolving would re-fill the default, and two configs that
+		// run identically would fingerprint apart. Generation cycles are
+		// never negative, so "gen >= -1" samples everything.
+		c.Warmup = -1
 	}
 	if c.Seed == 0 {
 		c.Seed = 0xA11CE
@@ -183,6 +202,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MemPipeline == 0 {
 		c.MemPipeline = 8
+	}
+	if c.CheckedPanic {
+		c.Checked = true
 	}
 	return c
 }
@@ -241,6 +263,11 @@ type Runner struct {
 	lastSampleD int64
 
 	gssAllocs []*core.GSS
+
+	// Checked-mode state: nil unless Config.Checked. genPerCore mirrors
+	// met.Generated per requesting core for the end-of-run accounting.
+	chk        *check.Checker
+	genPerCore []int64
 }
 
 // CoreStats is the per-core service breakdown of one run.
@@ -365,6 +392,9 @@ func New(cfg Config) (*Runner, error) {
 		r.coreStats = append(r.coreStats, CoreStats{Name: spec.Name})
 	}
 	r.stalls = make([]int64, len(r.cores))
+	if cfg.Checked {
+		r.installChecks()
+	}
 	return r, nil
 }
 
@@ -526,6 +556,9 @@ func (r *Runner) Step() {
 	if se := r.cfg.SampleEvery; se > 0 && r.now%se == 0 {
 		r.sample(se)
 	}
+	if r.chk != nil {
+		r.auditMeshes(now)
+	}
 }
 
 // sample appends one time-series point covering the window of the last
@@ -578,6 +611,9 @@ func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request
 		core: base.SrcCore, beats: req.Beats,
 	}
 	r.met.Generated++
+	if r.genPerCore != nil && base.SrcCore >= 0 {
+		r.genPerCore[base.SrcCore]++
+	}
 	for _, p := range pkts {
 		c.inj.Enqueue(p)
 	}
@@ -634,6 +670,9 @@ func (r *Runner) Finish() Result {
 	res.PerCore = append(res.PerCore, r.coreStats...)
 	res.Fairness = jain(r.coreStats)
 	res.Obs = r.buildReport()
+	if r.chk != nil {
+		r.finalChecks(res.Obs)
+	}
 	return res
 }
 
@@ -643,7 +682,7 @@ func (r *Runner) buildReport() *obs.Report {
 	cfg := r.cfg
 	rep := &obs.Report{
 		Design: cfg.Design.String(), App: cfg.App.Name, Gen: int(cfg.Gen),
-		ClockMHz: cfg.ClockMHz, Cycles: r.now, Warmup: cfg.Warmup, Seed: cfg.Seed,
+		ClockMHz: cfg.ClockMHz, Cycles: r.now, Warmup: max(cfg.Warmup, 0), Seed: cfg.Seed,
 		Generated:   r.met.Generated,
 		Completed:   r.met.Completed,
 		Stalled:     r.met.Stalled,

@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRead drives arbitrary bytes through the JSON-lines trace
+// decoder. Read must never panic; when it does accept an input, the
+// accepted records must (a) individually satisfy Validate, (b) keep
+// cycles non-decreasing per core — the replay precondition — and (c)
+// survive a Writer round trip unchanged.
+func FuzzTraceRead(f *testing.F) {
+	f.Add([]byte(`{"cycle":0,"core":"cpu","kind":"R","class":"demand","priority":true,"bank":0,"row":1,"col":2,"beats":2}`))
+	f.Add([]byte(`{"cycle":3,"core":"vid0","kind":"W","class":"media","bank":3,"row":200,"col":64,"beats":8,"endOfRow":true}` + "\n" +
+		`{"cycle":5,"core":"vid0","kind":"R","class":"prefetch","bank":3,"row":200,"col":72,"beats":8}`))
+	f.Add([]byte("\n\n"))
+	f.Add([]byte(`{"cycle":-1,"core":"x","kind":"R","bank":0,"row":0,"col":0,"beats":1}`))
+	f.Add([]byte(`{"cycle":9,"core":"x","kind":"Q","bank":0,"row":0,"col":0,"beats":1}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		records, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		last := map[string]int64{}
+		for i, r := range records {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("record %d accepted but invalid: %v", i, err)
+			}
+			if r.Cycle < last[r.Core] {
+				t.Fatalf("record %d: cycle %d decreases for core %q", i, r.Cycle, r.Core)
+			}
+			last[r.Core] = r.Cycle
+		}
+		// Round trip: re-encoding accepted records must reproduce them.
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range records {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("re-encoding accepted record: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-reading own encoding: %v", err)
+		}
+		if len(records) != len(again) || (len(records) > 0 && !reflect.DeepEqual(records, again)) {
+			t.Fatalf("round trip diverged: %d records in, %d out", len(records), len(again))
+		}
+	})
+}

@@ -64,6 +64,11 @@ type TableOptions struct {
 	// Progress, when non-nil, is called after each grid point completes
 	// with the number done and the grid size (serialised, not ordered).
 	Progress func(done, total int)
+	// Checked runs every grid point under the internal/check invariant
+	// layer; violations land in each row's Obs.Violations (see
+	// CheckedViolations). Checked runs measure identically to unchecked
+	// runs — the monitors only observe.
+	Checked bool
 }
 
 func (o TableOptions) cycles() int64 {
@@ -77,10 +82,34 @@ func (o TableOptions) sweepOptions() sweep.Options {
 	return sweep.Options{Workers: o.Parallel, OnProgress: o.Progress}
 }
 
+// applyChecked arms the invariant layer on every grid point when the
+// options ask for it.
+func (o TableOptions) applyChecked(cfgs []system.Config) []system.Config {
+	if o.Checked {
+		for i := range cfgs {
+			cfgs[i].Checked = true
+		}
+	}
+	return cfgs
+}
+
+// CheckedViolations counts the invariant violations recorded across the
+// rows' observability reports — zero for a healthy simulator. Only
+// meaningful for grids run with TableOptions.Checked.
+func CheckedViolations(rows []Row) int {
+	n := 0
+	for _, r := range rows {
+		if r.Obs != nil {
+			n += len(r.Obs.Violations)
+		}
+	}
+	return n
+}
+
 // runGrid fans the configurations across the sweep executor and maps
 // the results, in submission order, to table rows.
 func runGrid(cfgs []system.Config, o TableOptions) ([]Row, error) {
-	results, err := sweep.Collect(cfgs, o.sweepOptions())
+	results, err := sweep.Collect(o.applyChecked(cfgs), o.sweepOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -174,7 +203,7 @@ func Fig8(appName string, gen, clockMHz int, o TableOptions) ([]Fig8Point, error
 			Cycles:         o.cycles(), Seed: o.Seed,
 		})
 	}
-	results, err := sweep.Collect(cfgs, o.sweepOptions())
+	results, err := sweep.Collect(o.applyChecked(cfgs), o.sweepOptions())
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +286,7 @@ func TableV(o TableOptions) ([]PowerRow, error) {
 			})
 		}
 	}
-	results, err := sweep.Collect(cfgs, o.sweepOptions())
+	results, err := sweep.Collect(o.applyChecked(cfgs), o.sweepOptions())
 	if err != nil {
 		return nil, err
 	}
