@@ -326,6 +326,48 @@ func BenchmarkTableIParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTableLowUtil measures the simulation kernel's activity-driven
+// idle-skip in the regime it targets: the low-utilization standby model,
+// where most cycles have no flit in flight and no bank open. Each design
+// runs twice — idle-skip on (the default) and forced off — over the same
+// workload, so the cycles/s ratio between the skip and noskip variants
+// is the kernel's wall-clock win (CI records it in BENCH_kernel.json).
+// The saturated Table I–III grids bound the overhead instead: with work
+// on every cycle there is nothing to skip.
+func BenchmarkTableLowUtil(b *testing.B) {
+	for _, d := range []system.Design{system.SDRAMAware, system.GSS, system.GSSSAGM} {
+		for _, skip := range []bool{true, false} {
+			name := fmt.Sprintf("%s/skip", d)
+			if !skip {
+				name = fmt.Sprintf("%s/noskip", d)
+			}
+			d := d
+			skip := skip
+			b.Run(name, func(b *testing.B) {
+				cfg := system.Config{
+					App: appmodel.LowUtil(), Gen: dram.DDR2, Design: d,
+					PriorityDemand: true, Cycles: benchCycles,
+				}
+				var last system.Result
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					cfg.Seed = uint64(i + 1)
+					r, err := system.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					r.SetIdleSkip(skip)
+					r.RunTo(cfg.Cycles)
+					last = r.Finish()
+				}
+				b.ReportMetric(float64(benchCycles*int64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+				b.ReportMetric(last.Utilization, "util")
+				b.ReportMetric(last.LatAll, "lat-all")
+			})
+		}
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (cycles per
 // second) on the largest configuration — a capacity check, not a paper
 // figure.

@@ -21,6 +21,7 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
 	"aanoc/internal/obs"
+	"aanoc/internal/prof"
 	"aanoc/internal/system"
 )
 
@@ -40,9 +41,15 @@ func main() {
 		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
 		sample   = flag.Int64("sample-every", 0, "record a time-series sample every N cycles in the report (0: off)")
 		checked  = flag.Bool("checked", false, "run under the invariant layer (internal/check); violations go to stderr and exit status 2")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
 	app, err := appmodel.ByName(*appName)
 	if err != nil {
 		fatal(err)
@@ -104,6 +111,9 @@ func main() {
 		if err := writeReports(*jsonOut, reports); err != nil {
 			fatal(err)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fatal(err)
 	}
 	if violated {
 		os.Exit(2)

@@ -22,6 +22,7 @@ import (
 
 	"aanoc"
 	"aanoc/internal/obs"
+	"aanoc/internal/prof"
 )
 
 func main() {
@@ -33,8 +34,15 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-grid progress on stderr")
 		jsonOut  = flag.String("json", "", "also write the rows (with per-run obs reports) as JSON to this file")
 		checked  = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
+		os.Exit(1)
+	}
 	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel, Checked: *checked}
 	if *progress {
 		o.Progress = func(done, total int) {
@@ -87,6 +95,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
 			os.Exit(1)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
+		os.Exit(1)
 	}
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "aanoc-tables: %d invariant violation(s) across the grids\n", violations)

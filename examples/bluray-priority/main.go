@@ -14,10 +14,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
-	"strconv"
 
 	"aanoc"
+	"aanoc/examples/internal/exutil"
 )
 
 func main() {
@@ -30,7 +29,7 @@ func main() {
 			Design:         aanoc.GSS,
 			PCT:            pct,
 			PriorityDemand: true,
-			Cycles:         cycles(),
+			Cycles:         exutil.Cycles(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -40,15 +39,4 @@ func main() {
 	}
 	fmt.Println("\nPCT=1 is the priority-equal scheduler of [4]; PCT=5 is priority-first;")
 	fmt.Println("the hybrid values buy priority latency with little best-effort penalty.")
-}
-
-// cycles is the per-run budget: 150,000 by default, or AANOC_EXAMPLE_CYCLES
-// when set (the test harness shortens the runs this way).
-func cycles() int64 {
-	if s := os.Getenv("AANOC_EXAMPLE_CYCLES"); s != "" {
-		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
-			return n
-		}
-	}
-	return 150_000
 }

@@ -13,10 +13,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
-	"strconv"
 
 	"aanoc"
+	"aanoc/examples/internal/exutil"
 )
 
 func main() {
@@ -27,7 +26,7 @@ func main() {
 			App:        "sdtv",
 			Generation: 2,
 			Design:     d,
-			Cycles:     cycles(),
+			Cycles:     exutil.Cycles(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -38,15 +37,4 @@ func main() {
 	}
 	fmt.Println("\nThe BL8 design over-fetches for every sub-granularity request;")
 	fmt.Println("SAGM's BL4 mode with auto-precharge moves almost only useful data.")
-}
-
-// cycles is the per-run budget: 150,000 by default, or AANOC_EXAMPLE_CYCLES
-// when set (the test harness shortens the runs this way).
-func cycles() int64 {
-	if s := os.Getenv("AANOC_EXAMPLE_CYCLES"); s != "" {
-		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
-			return n
-		}
-	}
-	return 150_000
 }

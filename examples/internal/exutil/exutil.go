@@ -1,0 +1,20 @@
+// Package exutil holds the scaffolding shared by the runnable examples,
+// so each main.go stays focused on the experiment it demonstrates.
+package exutil
+
+import (
+	"os"
+	"strconv"
+)
+
+// Cycles is the per-run simulation budget for the examples: 150,000 by
+// default, or AANOC_EXAMPLE_CYCLES when set (the test harness shortens
+// the runs this way).
+func Cycles() int64 {
+	if s := os.Getenv("AANOC_EXAMPLE_CYCLES"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 150_000
+}

@@ -13,10 +13,9 @@ package main
 import (
 	"fmt"
 	"log"
-	"os"
-	"strconv"
 
 	"aanoc"
+	"aanoc/examples/internal/exutil"
 )
 
 func main() {
@@ -35,7 +34,7 @@ func main() {
 			Generation:     2,
 			Design:         d,
 			PriorityDemand: true,
-			Cycles:         cycles(),
+			Cycles:         exutil.Cycles(),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -49,15 +48,4 @@ func main() {
 				100*(1-res.LatAll/base.LatAll), 100*(1-res.LatPriority/base.LatPriority))
 		}
 	}
-}
-
-// cycles is the per-run budget: 150,000 by default, or AANOC_EXAMPLE_CYCLES
-// when set (the test harness shortens the runs this way).
-func cycles() int64 {
-	if s := os.Getenv("AANOC_EXAMPLE_CYCLES"); s != "" {
-		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
-			return n
-		}
-	}
-	return 150_000
 }

@@ -234,6 +234,25 @@ func DualDTV() App {
 	}
 }
 
+// LowUtil returns a deliberately under-loaded 3x3 model: the Blu-ray
+// platform in a navigation/standby phase — only the microprocessor's
+// demand misses (long think times), a trickle of prefetch, and sparse
+// peripheral housekeeping. Most mesh cycles are quiescent, which is the
+// regime the simulation kernel's activity-driven idle-skip targets; the
+// equivalence tests and the low-utilization benchmarks run it. Not part
+// of Apps(): the paper's tables evaluate the saturated models only.
+func LowUtil() App {
+	return App{
+		Name: "lowutil", Width: 3, Height: 3, MemAt: noc.Coord{X: 0, Y: 0},
+		Clocks: map[dram.Generation]int{dram.DDR1: 133, dram.DDR2: 266, dram.DDR3: 533},
+		Cores: []Core{
+			cpu("cpu", noc.Coord{X: 1, Y: 0}, 1, 400, 0.005),
+			background("osd", noc.Coord{X: 0, Y: 1}, 2, []int{4, 12}, 0.004, 0.6, traffic.Streaming),
+			background("periph", noc.Coord{X: 1, Y: 1}, 3, []int{2, 4}, 0.003, 0.5, traffic.Random),
+		},
+	}
+}
+
 // Apps returns the three benchmark models.
 func Apps() []App { return []App{BluRay(), SingleDTV(), DualDTV()} }
 

@@ -390,6 +390,33 @@ func (e *engine) mustIssue(cmd dram.Command, now int64) {
 // busy reports whether any request is inflight or draining.
 func (e *engine) busy() bool { return len(e.inflight) > 0 || len(e.draining) > 0 }
 
+// nextEvent returns the next cycle tick can possibly act, judged from
+// the pipeline's own state: every cycle while commands may issue
+// (inflight work or a refresh draining the pipeline), the earliest
+// data-window end while only drains remain (retirement fires the
+// completion callback at exactly that cycle), and otherwise the next
+// scheduled refresh. An idle, refresh-free engine sleeps until the next
+// admission wakes it. Sleeping is safe because an idle tick is a pure
+// no-op: Device.Sync settles lazily and tolerates jumps.
+func (e *engine) nextEvent(now int64) int64 {
+	if e.refreshing || len(e.inflight) > 0 {
+		return now + 1
+	}
+	next := int64(1<<63 - 1)
+	for _, r := range e.draining {
+		if r.lastEnd < next {
+			next = r.lastEnd
+		}
+	}
+	if e.refreshEvery > 0 && e.nextRefresh < next {
+		next = e.nextRefresh
+	}
+	if next <= now {
+		return now + 1
+	}
+	return next
+}
+
 // admitBlocked reports that a refresh is pending and admission should
 // pause until it completes.
 func (e *engine) admitBlocked() bool { return e.refreshing }

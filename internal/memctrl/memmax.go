@@ -216,6 +216,17 @@ func (m *MemMax) Busy() bool {
 	return false
 }
 
+// NextEvent implements Controller: thread queues holding requests keep
+// the scheduler arbitrating every cycle; otherwise the engine decides.
+func (m *MemMax) NextEvent(now int64) int64 {
+	for _, q := range m.queues {
+		if len(q) > 0 {
+			return now + 1
+		}
+	}
+	return m.eng.nextEvent(now)
+}
+
 // Backlog reports the total queued requests across threads (tests and
 // stats).
 func (m *MemMax) Backlog() int {

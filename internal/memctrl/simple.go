@@ -16,6 +16,12 @@ type Controller interface {
 	Tick(now int64)
 	// Busy reports whether any admitted request is still in flight.
 	Busy() bool
+	// NextEvent returns the next cycle (> now) Tick could possibly act —
+	// issue a command, retire a completion, or start a refresh — judged
+	// from the controller's own state. The simulation kernel skips the
+	// controller until then; a successful Offer wakes it explicitly.
+	// math.MaxInt64 means "idle until offered work".
+	NextEvent(now int64) int64
 }
 
 // Simple is the paper's lightweight memory subsystem for SDRAM-aware and
@@ -79,6 +85,9 @@ func (s *Simple) Tick(now int64) { s.eng.tick(now) }
 
 // Busy implements Controller.
 func (s *Simple) Busy() bool { return s.eng.busy() }
+
+// NextEvent implements Controller.
+func (s *Simple) NextEvent(now int64) int64 { return s.eng.nextEvent(now) }
 
 // CmdCycles exposes command-bus activity for the power model.
 func (s *Simple) CmdCycles() int64 { return s.eng.CmdCycles }

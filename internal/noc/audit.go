@@ -78,6 +78,46 @@ func (m *Mesh) Audit(report func(kind, format string, args ...any)) {
 			"%d flits launched but %d resident + %d in flight + %d drained",
 			launched, resident, inFlight, drained)
 	}
+	m.auditActivity(report)
+}
+
+// auditActivity recomputes the incremental activity ledger (the
+// idle-skip condition) from the live structures: flits on links, flits
+// in router input buffers, and credits in flight. An imbalance means the
+// mesh could sleep while work remains — a timing bug idle-skip would
+// silently introduce.
+func (m *Mesh) auditActivity(report func(kind, format string, args ...any)) {
+	var scan int64
+	for i, l := range m.links {
+		if l.pendingFlit != nil {
+			scan++
+		}
+		pend := 0
+		for _, n := range l.pendingCredits {
+			pend += n
+		}
+		if pend != l.credPending {
+			report("activity-ledger", "link %d: %d pending credits but credPending %d",
+				i, pend, l.credPending)
+		}
+		scan += int64(pend)
+	}
+	for _, r := range m.Routers {
+		resident := 0
+		for _, in := range r.In {
+			scan += int64(in.occupied())
+			for _, b := range in.bufs {
+				resident += len(b.packets)
+			}
+		}
+		if resident != r.pending {
+			report("activity-ledger", "router %v: %d resident packets but pending %d",
+				r.Pos, resident, r.pending)
+		}
+	}
+	if scan != m.work {
+		report("activity-ledger", "mesh holds %d work items but ledger reads %d", scan, m.work)
+	}
 }
 
 // auditLink checks the credit loop of one link: every VC's credit supply

@@ -46,7 +46,7 @@ func TestAuditCleanTraffic(t *testing.T) {
 			}
 			delivered := 0
 			for now := int64(0); now < 600; now++ {
-				m.Step(now)
+				m.Cycle(now)
 				for _, inj := range injs {
 					inj.Step(now)
 				}

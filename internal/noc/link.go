@@ -22,15 +22,18 @@ type flitMsg struct {
 // interleave on the link; the receiving side demultiplexes them into
 // per-VC buffers.
 type Link struct {
+	m        *Mesh
 	dst      *inputPort
 	creditTo creditReceiver
+	sink     *Sink // non-nil when dst is a sink's credit buffer
 
 	pendingFlit    *flitMsg
 	pendingCredits []int // per VC
+	credPending    int   // total queued credits across VCs
 }
 
-func newLink(dst *inputPort, creditTo creditReceiver) *Link {
-	l := &Link{dst: dst, creditTo: creditTo, pendingCredits: make([]int, len(dst.bufs))}
+func newLink(m *Mesh, dst *inputPort, creditTo creditReceiver) *Link {
+	l := &Link{m: m, dst: dst, creditTo: creditTo, pendingCredits: make([]int, len(dst.bufs))}
 	for _, b := range dst.bufs {
 		b.feed = l
 	}
@@ -45,25 +48,43 @@ func (l *Link) launch(p *Packet, head bool, vc int) {
 		panic("noc: two flits launched on one link in one cycle")
 	}
 	l.pendingFlit = &flitMsg{pkt: p, head: head, vc: vc}
+	l.m.workAdd(1)
 }
 
 // returnCredit queues a credit for the upstream sender's given VC; it is
 // applied on the next deliver phase.
-func (l *Link) returnCredit(vc int) { l.pendingCredits[vc]++ }
+func (l *Link) returnCredit(vc int) {
+	l.pendingCredits[vc]++
+	l.credPending++
+	l.m.workAdd(1)
+}
 
 // deliver moves the in-flight flit into the destination buffer and
-// applies queued credits upstream.
+// applies queued credits upstream. A flit landing in a router buffer
+// stays on the mesh's activity ledger (the router must forward it); one
+// landing in a sink's credit buffer leaves it — the sink's consumer is
+// woken to drain it instead.
 func (l *Link) deliver(now int64) {
 	if l.pendingFlit != nil {
 		m := l.pendingFlit
 		l.pendingFlit = nil
 		l.dst.bufs[m.vc].acceptFlit(m.pkt, m.head, now)
-	}
-	for vc, n := range l.pendingCredits {
-		if n > 0 && l.creditTo != nil {
-			l.creditTo.addCredits(vc, n)
-			l.pendingCredits[vc] = 0
+		if l.sink != nil {
+			l.m.workAdd(-1)
+			if l.sink.OnArrival != nil {
+				l.sink.OnArrival(now)
+			}
 		}
+	}
+	if l.credPending > 0 && l.creditTo != nil {
+		for vc, n := range l.pendingCredits {
+			if n > 0 {
+				l.creditTo.addCredits(vc, n)
+				l.pendingCredits[vc] = 0
+			}
+		}
+		l.m.workAdd(-int64(l.credPending))
+		l.credPending = 0
 	}
 }
 

@@ -77,6 +77,21 @@ type Mesh struct {
 	links     []*Link
 	injectors []*Injector
 	sinks     []*Sink
+
+	// work is the mesh's activity ledger: flits in flight on links, flits
+	// resident in router input buffers, and credits awaiting delivery.
+	// Flits delivered into a sink's credit buffers leave the ledger — the
+	// sink's consumer tracks them. While work is zero, Deliver and
+	// Arbitrate are provably no-ops and the simulation kernel may skip
+	// them; the checked-mode audit recomputes the ledger from the live
+	// structures every cycle.
+	work int64
+
+	// OnWake, when set, is invoked as the ledger leaves zero — some
+	// component outside the mesh's own phases (an injector launch, a
+	// sink credit return) created work. The system uses it to reschedule
+	// the mesh's kernel components.
+	OnWake func()
 }
 
 // NewMesh builds a single-virtual-channel (classic wormhole) mesh with
@@ -142,7 +157,7 @@ func (m *Mesh) RouterAt(c Coord) *Router {
 
 // connect wires src's output port to dst's input port with a 1-cycle link.
 func (m *Mesh) connect(src *Router, srcPort int, dst *Router, dstPort int) {
-	l := newLink(dst.In[dstPort], src.Out[srcPort])
+	l := newLink(m, dst.In[dstPort], src.Out[srcPort])
 	src.Out[srcPort].link = l
 	for vc, b := range dst.In[dstPort].bufs {
 		src.Out[srcPort].credits[vc] = b.capacity
@@ -158,7 +173,7 @@ func (m *Mesh) AttachInjector(c Coord) *Injector {
 	for vc, b := range r.In[PortLocal].bufs {
 		inj.credits[vc] = b.capacity
 	}
-	inj.link = newLink(r.In[PortLocal], inj)
+	inj.link = newLink(m, r.In[PortLocal], inj)
 	m.links = append(m.links, inj.link)
 	m.injectors = append(m.injectors, inj)
 	return inj
@@ -171,7 +186,8 @@ func (m *Mesh) AttachInjector(c Coord) *Injector {
 func (m *Mesh) AttachSink(c Coord, queueFlits, maxReady int) *Sink {
 	r := m.RouterAt(c)
 	s := newSink(m.vcs, queueFlits, maxReady)
-	l := newLink(s.port, r.Out[PortLocal])
+	l := newLink(m, s.port, r.Out[PortLocal])
+	l.sink = s
 	r.Out[PortLocal].link = l
 	for vc := range r.Out[PortLocal].credits {
 		r.Out[PortLocal].credits[vc] = queueFlits
@@ -181,15 +197,54 @@ func (m *Mesh) AttachSink(c Coord, queueFlits, maxReady int) *Sink {
 	return s
 }
 
-// Step advances the whole mesh by one cycle: links deliver the flits and
-// credits launched last cycle, then every router output arbitrates and
-// forwards at most one flit.
-func (m *Mesh) Step(now int64) {
+// Deliver is the mesh's Deliver-phase work: every link moves the flit
+// and credits launched last cycle to their destinations. Links with
+// nothing pending are passed over; the iteration order of the rest is
+// fixed (construction order), because same-cycle packet arrivals reach
+// a shared allocator in this order.
+func (m *Mesh) Deliver(now int64) {
 	for _, l := range m.links {
+		if l.pendingFlit == nil && l.credPending == 0 {
+			continue
+		}
 		l.deliver(now)
 	}
+}
+
+// Arbitrate is the mesh's Arbitrate-phase work: every router holding at
+// least one packet allocates free output channels and forwards at most
+// one flit per output. Routers with no resident packet are skipped —
+// with nothing buffered there is nothing to allocate or forward.
+func (m *Mesh) Arbitrate(now int64) {
 	for _, r := range m.Routers {
-		r.step(now)
+		if r.pending > 0 {
+			r.step(now)
+		}
+	}
+}
+
+// Cycle advances the mesh one full cycle standalone: Deliver then
+// Arbitrate. Unit tests and micro-benchmarks drive an isolated mesh
+// this way; the full system registers the two phases with the
+// simulation kernel instead.
+func (m *Mesh) Cycle(now int64) {
+	m.Deliver(now)
+	m.Arbitrate(now)
+}
+
+// Activity returns the mesh's live work ledger: flits on links or in
+// router buffers plus credits in flight. Zero means the mesh's Deliver
+// and Arbitrate phases are no-ops until an injector or sink creates
+// work again.
+func (m *Mesh) Activity() int64 { return m.work }
+
+// workAdd moves the activity ledger and fires OnWake on the idle-to-
+// busy transition.
+func (m *Mesh) workAdd(d int64) {
+	idle := m.work == 0
+	m.work += d
+	if idle && m.work > 0 && m.OnWake != nil {
+		m.OnWake()
 	}
 }
 

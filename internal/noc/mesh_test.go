@@ -70,7 +70,7 @@ func run(t *testing.T, m *Mesh, inj *Injector, sink *Sink, max int64) []*Packet 
 	t.Helper()
 	var got []*Packet
 	for now := int64(0); now < max; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 		for {
@@ -122,7 +122,7 @@ func TestDeliveryLatencyLowerBound(t *testing.T) {
 	inj.Enqueue(p)
 	var deliveredAt int64 = -1
 	for now := int64(0); now < 200 && deliveredAt < 0; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 		if sink.Pop(now) != nil {
@@ -163,7 +163,7 @@ func TestManyPacketsAllDelivered(t *testing.T) {
 	}
 	seen := map[int64]bool{}
 	for now := int64(0); now < 3000; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		for _, inj := range injs {
 			inj.Step(now)
 		}
@@ -201,7 +201,7 @@ func TestBackpressureStallsWithoutLoss(t *testing.T) {
 	// Phase 1: consumer never pops; the ready list (1 packet) and the
 	// flit buffer (2 flits) both fill and backpressure freezes the mesh.
 	for now := int64(0); now < 100; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 	}
@@ -214,7 +214,7 @@ func TestBackpressureStallsWithoutLoss(t *testing.T) {
 	// Phase 2: drain.
 	var got []*Packet
 	for now := int64(100); now < 400; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 		if p := sink.Pop(now); p != nil {
@@ -281,7 +281,7 @@ func TestPropertyAllPacketsDelivered(t *testing.T) {
 		}
 		seen := map[int64]bool{}
 		for now := int64(0); now < 20000 && len(seen) < want; now++ {
-			m.Step(now)
+			m.Cycle(now)
 			for _, inj := range injs {
 				inj.Step(now)
 			}

@@ -72,7 +72,7 @@ func (inj *Injector) QueueFlits() int { return inj.queuedFlits }
 func (inj *Injector) QueueFlitsHWM() int { return inj.flitsHWM }
 
 // Step launches at most one flit, serving the priority VC first. Call
-// once per cycle, after Mesh.Step.
+// at most once per cycle, after the mesh's Deliver/Arbitrate phases.
 func (inj *Injector) Step(now int64) {
 	for vc := len(inj.queues) - 1; vc >= 0; vc-- {
 		q := inj.queues[vc]
@@ -112,6 +112,14 @@ type Sink struct {
 	ready    []*Packet
 	readyHWM int   // high-water mark of the ready list over the run
 	drained  int64 // cumulative flits drained out of the credit buffers
+
+	// OnArrival, when set, is invoked as each flit lands in the sink's
+	// credit buffers — every flit, not just packet heads, because a
+	// partially drained packet stalls on exactly one missing flit. The
+	// simulation kernel uses it to wake the sink's consumer; a sink with
+	// buffered flits or ready packets keeps itself awake via its
+	// component's NextWake instead.
+	OnArrival func(now int64)
 }
 
 func newSink(vcs, queueFlits, maxReady int) *Sink {
@@ -123,7 +131,7 @@ func newSink(vcs, queueFlits, maxReady int) *Sink {
 }
 
 // Step drains arrived flits into the reassembly area, priority VC first.
-// Call once per cycle after Mesh.Step.
+// Call at most once per cycle after the mesh's Deliver/Arbitrate phases.
 func (s *Sink) Step(now int64) {
 	for vc := len(s.port.bufs) - 1; vc >= 0; vc-- {
 		s.drainVC(vc)

@@ -49,7 +49,7 @@ func TestInjectorFlitAccounting(t *testing.T) {
 	// 12-k; the HWM stays at the initial peak.
 	now := int64(0)
 	for k := 1; k <= 12; k++ {
-		m.Step(now)
+		m.Cycle(now)
 		sink.Step(now)
 		for sink.Pop(now) != nil {
 		}
@@ -87,7 +87,7 @@ func TestSinkReadyHWM(t *testing.T) {
 	}
 	var now int64
 	for ; now < 32; now++ { // no pops: packets accumulate in ready
-		m.Step(now)
+		m.Cycle(now)
 		sink.Step(now)
 		inj.Step(now)
 	}
@@ -116,7 +116,7 @@ func TestOutputPortGrants(t *testing.T) {
 		inj.Enqueue(mkVCPacket(int64(i+1), src, dst, 3, false))
 	}
 	for now := int64(0); now < 64; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		sink.Step(now)
 		for sink.Pop(now) != nil {
 		}

@@ -1,0 +1,109 @@
+package noc
+
+import "testing"
+
+// TestQuiescentLifecycle walks one packet through the mesh and checks
+// Quiescent and the activity ledger at every stage: an empty mesh is
+// quiescent, a mesh with a flit on a link or in a buffer is not, and the
+// mesh returns to quiescence once the packet has drained into the sink —
+// sink residency is the NI's business, not the mesh's.
+func TestQuiescentLifecycle(t *testing.T) {
+	m, err := NewMesh(3, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, dst := Coord{2, 2}, Coord{0, 0}
+	inj := m.AttachInjector(src)
+	sink := m.AttachSink(dst, 16, 4)
+
+	if !m.Quiescent() {
+		t.Fatal("fresh mesh not quiescent")
+	}
+	if m.Activity() != 0 {
+		t.Fatalf("fresh mesh activity = %d, want 0", m.Activity())
+	}
+
+	woke := 0
+	m.OnWake = func() { woke++ }
+
+	// A queued packet is injector-resident: the mesh itself is untouched.
+	inj.Enqueue(mkPacket(1, src, dst, 4))
+	if !m.Quiescent() || m.Activity() != 0 {
+		t.Fatal("enqueue alone must not disturb the mesh")
+	}
+	if woke != 0 {
+		t.Fatal("enqueue alone must not wake the mesh")
+	}
+
+	// The first Step launches the head flit onto the local link.
+	inj.Step(0)
+	if m.Quiescent() {
+		t.Fatal("mesh quiescent with a flit in flight")
+	}
+	if m.Activity() == 0 {
+		t.Fatal("activity ledger empty with a flit in flight")
+	}
+	if woke != 1 {
+		t.Fatalf("idle-to-busy transition fired OnWake %d times, want 1", woke)
+	}
+
+	// Drive to completion. The ledger is the wider predicate: it also
+	// counts credits in flight, so an empty ledger implies quiescence but
+	// not the reverse.
+	delivered := false
+	var now int64
+	for now = 1; now < 100 && !delivered; now++ {
+		if m.Activity() == 0 && !m.Quiescent() {
+			t.Fatalf("cycle %d: empty ledger on a non-quiescent mesh", now)
+		}
+		m.Cycle(now)
+		inj.Step(now)
+		sink.Step(now)
+		delivered = sink.Pop(now) != nil
+	}
+	if !delivered {
+		t.Fatal("packet not delivered")
+	}
+	if !m.Quiescent() {
+		t.Fatal("mesh not quiescent after drain")
+	}
+	// A few more cycles flush the credits the pop released; only then
+	// must the ledger read empty.
+	for ; now < 110; now++ {
+		m.Cycle(now)
+	}
+	if m.Activity() != 0 {
+		t.Fatalf("activity ledger reads %d after credit flush, want 0", m.Activity())
+	}
+	// Two idle-to-busy transitions: the flit launch, then the credit the
+	// pop released into a fully drained ledger — the kernel relies on that
+	// second wake to carry the credit home.
+	if woke != 2 {
+		t.Fatalf("OnWake fired %d times, want 2 (launch + post-drain credit)", woke)
+	}
+}
+
+// TestQuiescentSinkResidency pins down the boundary: a packet parked in
+// the sink's ready list keeps the mesh quiescent (links and router
+// buffers are clear) even though the NI still holds it.
+func TestQuiescentSinkResidency(t *testing.T) {
+	m, _ := NewMesh(2, 2, 8)
+	src, dst := Coord{1, 1}, Coord{0, 0}
+	inj := m.AttachInjector(src)
+	sink := m.AttachSink(dst, 16, 4)
+	inj.Enqueue(mkPacket(1, src, dst, 2))
+	for now := int64(0); now < 60; now++ {
+		m.Cycle(now)
+		inj.Step(now)
+		sink.Step(now)
+	}
+	if sink.Ready() != 1 {
+		t.Fatalf("sink ready = %d, want the packet parked", sink.Ready())
+	}
+	if !m.Quiescent() {
+		t.Fatal("mesh must be quiescent with the packet sink-resident")
+	}
+	if m.Activity() != 0 {
+		t.Fatalf("activity = %d with the packet sink-resident, want 0", m.Activity())
+	}
+}

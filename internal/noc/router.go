@@ -77,6 +77,14 @@ type Router struct {
 
 	routing Routing
 	pinned  map[*Packet]int // adaptive routing decisions, per resident packet
+
+	// pending counts packets resident in the router's input buffers
+	// (arrived head flit, not yet fully forwarded). While zero, step is a
+	// no-op — no allocation candidates, no active transfers — and the
+	// mesh skips the router. Packets, not flits: a resident packet whose
+	// flits are all forwarded-or-unarrived must still be visited every
+	// cycle so channel allocation happens the cycle the head arrives.
+	pending int
 }
 
 func newRouter(pos Coord, vcs, bufFlits int) *Router {
@@ -90,6 +98,7 @@ func newRouter(pos Coord, vcs, bufFlits int) *Router {
 		}
 		for _, b := range r.In[p].bufs {
 			b.onNewPacket = func(pkt *Packet, now int64) {
+				r.pending++
 				out := r.pinRoute(pkt)
 				r.Out[out].alloc.OnPacketArrival(pkt, now)
 			}
@@ -144,6 +153,7 @@ func (r *Router) step(now int64) {
 			o.credits[vc]--
 			o.BusyCycles++
 			if a.buf.forwardFlit(a.pp, now) {
+				r.pending--
 				r.unpinRoute(a.pp.Pkt)
 				o.active[vc] = nil
 			}

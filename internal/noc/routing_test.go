@@ -128,7 +128,7 @@ func TestAdaptiveMeshDeliversEverything(t *testing.T) {
 	}
 	got := 0
 	for now := int64(0); now < 5000 && got < want; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		for _, s := range sinks {
 			s.Step(now)
@@ -158,7 +158,7 @@ func TestAdaptiveRouteSpreadsAcrossPaths(t *testing.T) {
 		inj.Enqueue(mkVCPacket(i, src, dst, 12, false))
 	}
 	for now := int64(0); now < 2000; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 		for sink.Pop(now) != nil {
@@ -180,7 +180,7 @@ func TestXYDefaultUnchanged(t *testing.T) {
 	sink := m.AttachSink(dst, 8, 8)
 	inj.Enqueue(&Packet{ID: 1, ParentID: 1, Src: src, Dst: dst, Flits: 4, Beats: 8, Splits: 1, Addr: dram.Address{Bank: 1}})
 	for now := int64(0); now < 100; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 		for sink.Pop(now) != nil {

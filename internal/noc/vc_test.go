@@ -63,7 +63,7 @@ func TestPriorityOvertakesLongTransfer(t *testing.T) {
 			if now == 10 {
 				inj.Enqueue(pri) // arrives mid-transfer of the long packet
 			}
-			m.Step(now)
+			m.Cycle(now)
 			inj.Step(now)
 			sink.Step(now)
 			for {
@@ -114,7 +114,7 @@ func TestVCFlitsDoNotMix(t *testing.T) {
 	}
 	got := map[int64]bool{}
 	for now := int64(0); now < 8000; now++ {
-		m.Step(now)
+		m.Cycle(now)
 		for _, inj := range injs {
 			inj.Step(now)
 		}
@@ -156,7 +156,7 @@ func TestVCBestEffortStillProgresses(t *testing.T) {
 			id++
 			inj.Enqueue(mkVCPacket(id, src, dst, 2, false))
 		}
-		m.Step(now)
+		m.Cycle(now)
 		inj.Step(now)
 		sink.Step(now)
 		for {

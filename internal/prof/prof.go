@@ -1,0 +1,50 @@
+// Package prof wires the runtime/pprof profilers into the CLIs behind a
+// pair of flags. Profiles pair with the simulation kernel's idle-skip
+// work: a CPU profile of a low-utilization run shows where the remaining
+// cycles go once quiescent components stop ticking.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a
+// stop function that finalises the CPU profile and, when memPath is
+// non-empty, writes a heap profile. Callers must invoke stop on every
+// successful exit path — os.Exit skips deferred calls, so the CLIs call
+// it explicitly before exiting. An empty path disables that profile.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
+}

@@ -44,7 +44,7 @@ func (r *Runner) auditMeshes(now int64) {
 // collected violations to the report. Cycle -1 marks whole-run checks.
 func (r *Runner) finalChecks(rep *obs.Report) {
 	c := r.chk
-	r.auditMeshes(r.now)
+	r.auditMeshes(r.kern.Now())
 
 	// Logical request conservation: every generated request is completed
 	// or still outstanding in the parents table.

@@ -1,0 +1,201 @@
+package system
+
+import (
+	"aanoc/internal/noc"
+	"aanoc/internal/sim"
+)
+
+// comp adapts a closure pair to sim.Component: the pieces of the old
+// monolithic Runner.Step become named components, one per phase slot.
+type comp struct {
+	name  string
+	phase sim.Phase
+	tick  func(now int64)
+	next  func(now int64) int64
+}
+
+func (c *comp) Name() string             { return c.name }
+func (c *comp) Phase() sim.Phase         { return c.phase }
+func (c *comp) Tick(now int64)           { c.tick(now) }
+func (c *comp) NextWake(now int64) int64 { return c.next(now) }
+
+// buildKernel registers the wired subsystems with a fresh simulation
+// kernel. Phase order plus registration order reproduce the exact
+// intra-cycle sequence of the pre-kernel monolithic Step:
+//
+//	Deliver   req links, resp links
+//	Arbitrate req routers, resp routers
+//	Admit     memory sink drain + controller admission
+//	MemTick   memory controller
+//	Complete  per-core response sink drain + split retirement
+//	Inject    response injector, then per-core generation + injection
+//	Audit     observability sampling, checked-mode mesh audits
+//
+// (The old Step drained core sinks before the controller ticked and
+// retired splits after; both halves touch disjoint state — the resp
+// mesh's sinks versus the request pipeline — so folding them into one
+// Complete component after MemTick is order-equivalent.)
+//
+// Each component's NextWake gives the activity-driven idle-skip its
+// soundness: a component only sleeps through cycles its tick provably
+// would not change state, and every producer of cross-component input
+// wakes the consumer's handle.
+func (r *Runner) buildKernel() {
+	k := sim.NewKernel()
+	r.kern = k
+
+	regMesh := func(name string, m *noc.Mesh) {
+		next := func(now int64) int64 {
+			if m.Activity() > 0 {
+				return now + 1
+			}
+			return sim.Never
+		}
+		hd := k.Register(&comp{name: name + "-links", phase: sim.PhaseDeliver, tick: m.Deliver, next: next})
+		ha := k.Register(&comp{name: name + "-routers", phase: sim.PhaseArbitrate, tick: m.Arbitrate, next: next})
+		m.OnWake = func() {
+			// Work appears outside the mesh's own phases (an injector
+			// launch, a sink credit return), so this cycle's Deliver and
+			// Arbitrate have already run: deliver it next cycle, exactly
+			// when the always-ticked mesh would have.
+			at := k.Now() + 1
+			hd.Wake(at)
+			ha.Wake(at)
+		}
+	}
+	regMesh("req", r.reqMesh)
+	regMesh("resp", r.respMesh)
+
+	hAdmit := k.Register(&comp{
+		name: "mem-admit", phase: sim.PhaseAdmit,
+		tick: func(now int64) {
+			r.memSink.Step(now)
+			for {
+				p := r.memSink.Peek()
+				if p == nil || !r.ctrl.Offer(p, now) {
+					break
+				}
+				r.memSink.Pop(now)
+				// The controller must see the admission this cycle. (A
+				// refused Offer needs no wake: every refusal reason —
+				// refresh drain, a full window, a backlogged thread
+				// queue — implies the controller is already awake.)
+				r.hMem.Wake(now)
+			}
+		},
+		next: func(now int64) int64 {
+			if r.memSink.Occupied() > 0 || r.memSink.Ready() > 0 {
+				return now + 1
+			}
+			return sim.Never
+		},
+	})
+	r.memSink.OnArrival = func(now int64) { hAdmit.Wake(now) }
+
+	r.hMem = k.Register(&comp{
+		name: "memctrl", phase: sim.PhaseMemTick,
+		tick: func(now int64) { r.ctrl.Tick(now) },
+		next: r.ctrl.NextEvent,
+	})
+
+	for _, c := range r.cores {
+		c := c
+		hc := k.Register(&comp{
+			name: "core-complete/" + c.spec.Name, phase: sim.PhaseComplete,
+			tick: func(now int64) {
+				c.sink.Step(now)
+				for {
+					p := c.sink.Pop(now)
+					if p == nil {
+						break
+					}
+					r.completeSplit(p, now)
+				}
+			},
+			next: func(now int64) int64 {
+				if c.sink.Occupied() > 0 || c.sink.Ready() > 0 {
+					return now + 1
+				}
+				return sim.Never
+			},
+		})
+		c.sink.OnArrival = func(now int64) { hc.Wake(now) }
+	}
+
+	r.hRespInj = k.Register(&comp{
+		name: "resp-inject", phase: sim.PhaseInject,
+		tick: func(now int64) { r.respInj.Step(now) },
+		next: func(now int64) int64 {
+			if r.respInj.QueueLen() > 0 {
+				return now + 1
+			}
+			return sim.Never
+		},
+	})
+
+	for i, c := range r.cores {
+		i, c := i, c
+		h := k.Register(&comp{
+			name: "core-inject/" + c.spec.Name, phase: sim.PhaseInject,
+			tick: func(now int64) {
+				blocked := c.inj.QueueFlits() >= r.cfg.InjectCap
+				if blocked {
+					// The injection backpressure point: this core's
+					// generators lose the cycle. Counted once per core per
+					// cycle — a backlogged injector keeps the component
+					// awake, so no stall cycle is skipped.
+					r.met.Stalled++
+					r.stalls[i]++
+				}
+				for _, g := range c.gens {
+					req := g.Tick(now, blocked)
+					if req == nil {
+						continue
+					}
+					r.injectLogical(c, g, req, now)
+				}
+				c.inj.Step(now)
+			},
+			next: func(now int64) int64 {
+				if c.inj.QueueFlits() > 0 {
+					return now + 1
+				}
+				next := sim.Never
+				for _, g := range c.gens {
+					if a := g.NextArrival(); a < next {
+						next = a
+					}
+				}
+				return next
+			},
+		})
+		r.hInject = append(r.hInject, h)
+	}
+
+	if se := r.cfg.SampleEvery; se > 0 {
+		k.Register(&comp{
+			name: "obs-sample", phase: sim.PhaseAudit,
+			tick: func(now int64) {
+				if (now+1)%se == 0 {
+					r.sample(now+1, se)
+				}
+			},
+			next: func(now int64) int64 {
+				// The smallest n > now with (n+1) divisible by se: sampling
+				// windows close on exact cycles even across skipped gaps.
+				return (now+1+se)/se*se - 1
+			},
+		})
+	}
+
+	if r.chk != nil {
+		// Checked mode audits every settled cycle, which also pins the
+		// kernel to visit every cycle — the conservation walks are
+		// per-cycle invariants, not samplable ones.
+		k.Register(&comp{
+			name: "check-audit", phase: sim.PhaseAudit,
+			tick: func(now int64) { r.auditMeshes(now) },
+			next: func(now int64) int64 { return now + 1 },
+		})
+	}
+}

@@ -65,7 +65,7 @@ func TestPropertyGSSMeshNeverDeadlocks(t *testing.T) {
 		}
 		seen := map[int64]bool{}
 		for now := int64(0); now < 30_000 && len(seen) < want; now++ {
-			m.Step(now)
+			m.Cycle(now)
 			for _, inj := range injs {
 				inj.Step(now)
 			}
@@ -120,7 +120,7 @@ func TestGSSMeshPriorityNotSlower(t *testing.T) {
 		}
 		injA.Enqueue(probe)
 		for now := int64(0); now < 5_000; now++ {
-			m.Step(now)
+			m.Cycle(now)
 			injA.Step(now)
 			injB.Step(now)
 			sink.Step(now)

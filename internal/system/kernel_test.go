@@ -1,0 +1,82 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+)
+
+// runSkip executes one configuration with idle-skip forced on or off and
+// returns the complete Result (including the full observability report).
+func runSkip(t *testing.T, cfg Config, skip bool) Result {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetIdleSkip(skip)
+	r.RunTo(r.cfg.Cycles)
+	return r.Finish()
+}
+
+// TestIdleSkipEquivalence is the kernel refactor's acceptance gate: for
+// every design, a run with activity-driven idle-skip must produce a
+// Result — metrics, device stats, per-link counters, per-core
+// breakdowns, the entire observability report — deeply equal to the
+// reference run that ticks every cycle. Any wakeup-protocol bug (a
+// component sleeping through a cycle where it had work) diverges here.
+func TestIdleSkipEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system equivalence runs")
+	}
+	for _, d := range Designs() {
+		d := d
+		t.Run(d.String(), func(t *testing.T) {
+			cfg := Config{
+				App: appmodel.BluRay(), Gen: dram.DDR2, Design: d,
+				Cycles: 6_000, PriorityDemand: true, SampleEvery: 500,
+			}
+			on := runSkip(t, cfg, true)
+			off := runSkip(t, cfg, false)
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("idle-skip on and off diverge:\n on: %+v\noff: %+v", on, off)
+			}
+		})
+	}
+}
+
+// TestIdleSkipEquivalenceVariants covers the wake paths the design grid
+// leaves out: multiple virtual channels, adaptive routing, a different
+// application and generation, and an explicitly low-utilization app
+// where idle-skip actually skips.
+func TestIdleSkipEquivalenceVariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system equivalence runs")
+	}
+	cfgs := map[string]Config{
+		"vc2-adaptive": {
+			App: appmodel.SingleDTV(), Gen: dram.DDR1, Design: GSS,
+			Cycles: 6_000, VirtualChannels: 2, AdaptiveRouting: true,
+		},
+		"ddr3-sagm": {
+			App: appmodel.DualDTV(), Gen: dram.DDR3, Design: GSSSAGMSTI,
+			Cycles: 6_000, SampleEvery: 750,
+		},
+		"low-util": {
+			App: appmodel.LowUtil(), Gen: dram.DDR2, Design: GSSSAGM,
+			Cycles: 20_000, PriorityDemand: true, SampleEvery: 1000,
+		},
+	}
+	for name, cfg := range cfgs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			on := runSkip(t, cfg, true)
+			off := runSkip(t, cfg, false)
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("idle-skip on and off diverge:\n on: %+v\noff: %+v", on, off)
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package system
 
 import (
 	"fmt"
+	"os"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/check"
@@ -253,7 +254,15 @@ type Runner struct {
 
 	met       stats.Metrics
 	coreStats []CoreStats
-	now       int64
+
+	// The simulation kernel owns the clock; the handles are the wake
+	// targets of cross-component events (admissions wake the controller,
+	// completions wake the response injector and the requesting core's
+	// generators).
+	kern     *sim.Kernel
+	hMem     *sim.Handle
+	hRespInj *sim.Handle
+	hInject  []*sim.Handle // indexed like cores
 
 	// Observability state: per-core stall cycles (indexed like cores),
 	// the collected time series, and the data-cycle watermark of the
@@ -395,6 +404,12 @@ func New(cfg Config) (*Runner, error) {
 	if cfg.Checked {
 		r.installChecks()
 	}
+	r.buildKernel()
+	if os.Getenv("AANOC_NO_IDLE_SKIP") != "" {
+		// Escape hatch (and CI equivalence gate): tick every cycle even
+		// when every component sleeps. Results are identical either way.
+		r.kern.SetIdleSkip(false)
+	}
 	return r, nil
 }
 
@@ -475,6 +490,9 @@ func (r *Runner) onMemDone(c memctrl.Completion) {
 		Gen: p.Gen, Response: true,
 	}
 	r.respInj.Enqueue(resp)
+	// Completions fire in the MemTick phase; the response injector's
+	// Inject slot is later this same cycle, as in the monolithic step.
+	r.hRespInj.Wake(r.kern.Now())
 }
 
 // completeSplit retires one split of a logical request; the last one
@@ -506,71 +524,40 @@ func (r *Runner) completeSplit(p *noc.Packet, at int64) {
 		r.met.Completed++
 	}
 	l.stream.OnComplete(at)
-}
-
-// Step advances the whole system one memory clock cycle.
-func (r *Runner) Step() {
-	now := r.now
-	r.reqMesh.Step(now)
-	r.respMesh.Step(now)
-	r.memSink.Step(now)
-	for _, c := range r.cores {
-		c.sink.Step(now)
-	}
-	// Memory subsystem: admit in-order from the sink, then tick.
-	for {
-		p := r.memSink.Peek()
-		if p == nil || !r.ctrl.Offer(p, now) {
-			break
-		}
-		r.memSink.Pop(now)
-	}
-	r.ctrl.Tick(now)
-	r.respInj.Step(now)
-	// Core side: responses complete reads; generators inject new work.
-	for i, c := range r.cores {
-		for {
-			p := c.sink.Pop(now)
-			if p == nil {
-				break
-			}
-			r.completeSplit(p, now)
-		}
-		blocked := c.inj.QueueFlits() >= r.cfg.InjectCap
-		if blocked {
-			// The injection backpressure point: this core's generators
-			// lose the cycle. Counted once per core per cycle.
-			r.met.Stalled++
-			r.stalls[i]++
-		}
-		for _, g := range c.gens {
-			req := g.Tick(now, blocked)
-			if req == nil {
-				continue
-			}
-			r.injectLogical(c, g, req, now)
-		}
-		c.inj.Step(now)
-	}
-	r.now++
-	if se := r.cfg.SampleEvery; se > 0 && r.now%se == 0 {
-		r.sample(se)
-	}
-	if r.chk != nil {
-		r.auditMeshes(now)
+	// The completion refills a closed-loop window: the stream can
+	// generate no earlier than next cycle (think time is at least one),
+	// so wake the core's injection component then and let its NextWake
+	// refine the estimate.
+	if l.core >= 0 && l.core < len(r.hInject) {
+		r.hInject[l.core].Wake(r.kern.Now() + 1)
 	}
 }
 
-// sample appends one time-series point covering the window of the last
-// interval cycles.
-func (r *Runner) sample(interval int64) {
+// Step advances the whole system one memory clock cycle: every awake
+// component ticks in kernel phase order. Cycle-stepping callers visit
+// every cycle; RunTo additionally fast-forwards over all-idle spans.
+func (r *Runner) Step() { r.kern.Step() }
+
+// RunTo advances the simulation to the given cycle, skipping spans
+// where every component sleeps (unless idle-skip is disabled).
+func (r *Runner) RunTo(cycle int64) { r.kern.RunUntil(cycle) }
+
+// SetIdleSkip toggles fast-forwarding over all-idle cycles in RunTo.
+// On (the default) and off produce identical results; off is the
+// reference mode the equivalence tests and the AANOC_NO_IDLE_SKIP
+// environment knob select.
+func (r *Runner) SetIdleSkip(on bool) { r.kern.SetIdleSkip(on) }
+
+// sample appends one time-series point at the given cycle, covering the
+// window of the last interval cycles.
+func (r *Runner) sample(cycle, interval int64) {
 	queued := 0
 	for _, c := range r.cores {
 		queued += c.inj.QueueFlits()
 	}
 	dc := r.dev.Stats().DataCycles
 	r.samples = append(r.samples, obs.Sample{
-		Cycle:       r.now,
+		Cycle:       cycle,
 		Utilization: float64(dc-r.lastSampleD) / float64(interval),
 		Outstanding: len(r.parents),
 		QueueFlits:  queued,
@@ -635,17 +622,24 @@ func (r *Runner) Metrics() *stats.Metrics { return &r.met }
 func (r *Runner) Device() *dram.Device { return r.dev }
 
 // Now returns the current cycle.
-func (r *Runner) Now() int64 { return r.now }
+func (r *Runner) Now() int64 { return r.kern.Now() }
 
 // Finish assembles the Result after the run.
 func (r *Runner) Finish() Result {
 	cfg := r.cfg
+	now := r.kern.Now()
+	// Settle the device through the last simulated cycle: the controller
+	// may have slept through the run's tail, leaving auto-precharges
+	// pending that the old every-cycle tick would have retired.
+	if now > 0 {
+		r.dev.Sync(now - 1)
+	}
 	st := r.dev.Stats()
-	r.met.Cycles = r.now
+	r.met.Cycles = now
 	res := Result{
 		Design: cfg.Design, App: cfg.App.Name, Gen: cfg.Gen, ClockMHz: cfg.ClockMHz,
-		Cycles:      r.now,
-		Utilization: r.dev.Utilization(r.now),
+		Cycles:      now,
+		Utilization: r.dev.Utilization(now),
 		LatAll:      r.met.All.Mean(),
 		LatDemand:   r.met.Demand.Mean(),
 		LatPriority: r.met.Priority.Mean(),
@@ -682,11 +676,11 @@ func (r *Runner) buildReport() *obs.Report {
 	cfg := r.cfg
 	rep := &obs.Report{
 		Design: cfg.Design.String(), App: cfg.App.Name, Gen: int(cfg.Gen),
-		ClockMHz: cfg.ClockMHz, Cycles: r.now, Warmup: max(cfg.Warmup, 0), Seed: cfg.Seed,
+		ClockMHz: cfg.ClockMHz, Cycles: r.kern.Now(), Warmup: max(cfg.Warmup, 0), Seed: cfg.Seed,
 		Generated:   r.met.Generated,
 		Completed:   r.met.Completed,
 		Stalled:     r.met.Stalled,
-		Utilization: r.dev.Utilization(r.now),
+		Utilization: r.dev.Utilization(r.kern.Now()),
 		Latency: obs.Latencies{
 			All:      r.met.All.Summarize(),
 			Demand:   r.met.Demand.Summarize(),
@@ -697,8 +691,8 @@ func (r *Runner) buildReport() *obs.Report {
 			Source:   r.met.SourceLatency.Summarize(),
 		},
 		Network: obs.Network{
-			Request:  meshStats(r.reqMesh, r.now),
-			Response: meshStats(r.respMesh, r.now),
+			Request:  meshStats(r.reqMesh, r.kern.Now()),
+			Response: meshStats(r.respMesh, r.kern.Now()),
 		},
 		SampleEvery: cfg.SampleEvery,
 		Samples:     r.samples,
@@ -778,9 +772,6 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	cycles := r.cfg.Cycles
-	for i := int64(0); i < cycles; i++ {
-		r.Step()
-	}
+	r.RunTo(r.cfg.Cycles)
 	return r.Finish(), nil
 }

@@ -201,6 +201,15 @@ func (rp *Replayer) OnComplete(now int64) {
 	}
 }
 
+// NextArrival implements traffic.Source: the recorded cycle of the next
+// unissued request, or math.MaxInt64 once the trace is exhausted.
+func (rp *Replayer) NextArrival() int64 {
+	if rp.next >= len(rp.records) {
+		return 1<<63 - 1
+	}
+	return rp.records[rp.next].Cycle
+}
+
 // Done reports whether every record has been issued.
 func (rp *Replayer) Done() bool { return rp.next >= len(rp.records) }
 

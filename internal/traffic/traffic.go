@@ -101,6 +101,12 @@ type Source interface {
 	// OnComplete notifies the source that one of its logical requests
 	// finished (closed-loop pacing).
 	OnComplete(now int64)
+	// NextArrival returns the earliest cycle the source could produce a
+	// request, judged from its own state — or math.MaxInt64 when only a
+	// completion can unblock it (a saturated closed-loop window, an
+	// exhausted trace). Ticks strictly before NextArrival return nil
+	// without changing state, so the simulation kernel skips them.
+	NextArrival() int64
 }
 
 // Request is a logical memory request produced by a stream, before SAGM
@@ -219,6 +225,16 @@ func (g *Gen) OnComplete(now int64) {
 	if at > g.nextAt {
 		g.nextAt = at
 	}
+}
+
+// NextArrival implements Source. A saturated closed-loop stream waits
+// on a completion (OnComplete always pushes nextAt past the completion
+// cycle, so the window refills no earlier than nextAt).
+func (g *Gen) NextArrival() int64 {
+	if g.Spec.ClosedLoop && g.outstanding >= g.window() {
+		return 1<<63 - 1
+	}
+	return g.nextAt
 }
 
 // window returns the closed-loop outstanding bound.

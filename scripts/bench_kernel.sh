@@ -1,0 +1,57 @@
+#!/bin/sh
+# bench_kernel.sh — run the table benchmarks and record the simulation
+# kernel's trajectory in BENCH_kernel.json: per-benchmark ns/op plus the
+# idle-skip speedup on the low-utilization configs (the skip/noskip
+# variant pairs of BenchmarkTableLowUtil).
+#
+#   ./scripts/bench_kernel.sh [output.json]
+#
+# BENCHTIME overrides the per-benchmark iteration budget (default 1x,
+# the CI smoke setting; use e.g. 5x for stabler local numbers).
+set -e
+
+out=${1:-BENCH_kernel.json}
+benchtime=${BENCHTIME:-1x}
+
+go test -run '^$' -bench Table -benchtime "$benchtime" . | tee /tmp/bench_table.txt
+
+awk -v benchtime="$benchtime" '
+/^BenchmarkTable/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = $3
+	cps = ""
+	for (i = 4; i <= NF; i++) if ($i == "cycles/s") cps = $(i - 1)
+	n++
+	names[n] = name
+	nsop[n] = ns
+	cycles[n] = cps
+	if (name ~ /^BenchmarkTableLowUtil\//) {
+		cfg = name
+		sub(/^BenchmarkTableLowUtil\//, "", cfg)
+		mode = cfg
+		sub(/\/[^\/]*$/, "", cfg)
+		sub(/^.*\//, "", mode)
+		lowutil[cfg "/" mode] = ns
+		if (!(cfg in seen)) { seen[cfg] = ++ncfg; cfgs[ncfg] = cfg }
+	}
+}
+END {
+	printf "{\n  \"benchtime\": \"%s\",\n  \"benches\": [\n", benchtime
+	for (i = 1; i <= n; i++) {
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", names[i], nsop[i]
+		if (cycles[i] != "") printf ", \"cycles_per_s\": %s", cycles[i]
+		printf "}%s\n", (i < n) ? "," : ""
+	}
+	printf "  ],\n  \"idle_skip_speedup\": {\n"
+	for (i = 1; i <= ncfg; i++) {
+		c = cfgs[i]
+		s = lowutil[c "/skip"]; ns2 = lowutil[c "/noskip"]
+		if (s > 0 && ns2 > 0)
+			printf "    \"%s\": %.2f%s\n", c, ns2 / s, (i < ncfg) ? "," : ""
+	}
+	printf "  }\n}\n"
+}' /tmp/bench_table.txt > "$out"
+
+echo "wrote $out:"
+cat "$out"
