@@ -1,7 +1,7 @@
 // Package aanoc is a full reproduction of "Application-Aware NoC Design
 // for Efficient SDRAM Access" (Jang & Pan, DAC 2010 / IEEE TCAD 2011): a
 // cycle-level model of a multimedia system-on-chip in which many cores
-// share one DDR SDRAM through a mesh network-on-chip, together with the
+// share DDR SDRAM through a mesh network-on-chip, together with the
 // seven NoC/memory design points the paper evaluates — from a
 // conventional round-robin NoC with a thread-buffered memory scheduler
 // (CONV) through the SDRAM-aware NoC of the authors' earlier work ([4])
@@ -16,26 +16,35 @@
 //   - internal/core — the GSS flow-control algorithm and SAGM splitter
 //   - internal/router — conventional round-robin / priority-first policies
 //   - internal/memctrl — the two memory subsystems
-//   - internal/traffic, internal/appmodel — the three application models
+//   - internal/traffic, internal/appmodel — the application models
+//   - internal/mapping — address decoding and channel interleaving
 //   - internal/system — the full-system simulator
 //   - internal/area — Table IV/V gate-count and power models
 //
 // Typical use:
 //
 //	res, err := aanoc.Run(aanoc.Config{
-//		App: "bluray", Generation: 2, Design: aanoc.GSSSAGM,
+//		Model: aanoc.AppBluRay, Generation: 2, Design: aanoc.GSSSAGM,
 //		PriorityDemand: true, Cycles: 200_000,
 //	})
+//
+// Beyond the paper's single-SDRAM systems, the scaled application models
+// (AppBluRay2, AppDDTV4) expose several memory ports, and Channels
+// spreads the memory traffic over that many independent SDRAM channels
+// (see ChannelScheme for the interleaving policies).
 //
 // The table drivers (TableI, TableII, TableIII, Fig8, TableIV, TableV)
 // regenerate every quantitative result in the paper's evaluation section.
 package aanoc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/mapping"
 	"aanoc/internal/system"
 )
 
@@ -60,7 +69,41 @@ func Designs() []Design { return system.Designs() }
 // shorthand ("conv", "gss+sagm", ...).
 func ParseDesign(s string) (Design, error) { return system.ParseDesign(s) }
 
-// Apps lists the benchmark application names: "bluray", "sdtv", "ddtv".
+// App identifies a benchmark application model by name.
+type App string
+
+// The application models: the paper's three SoCs plus the scaled
+// multi-channel variants.
+const (
+	// AppBluRay is the paper's Blu-ray player SoC (4x4 mesh, 7 cores).
+	AppBluRay App = "bluray"
+	// AppSDTV is the paper's SDTV receiver SoC (3x3 mesh, 8 cores).
+	AppSDTV App = "sdtv"
+	// AppDDTV is the paper's dual-decode DTV SoC (4x4 mesh, 12 cores).
+	AppDDTV App = "ddtv"
+	// AppBluRay2 is two Blu-ray pipelines on one 4x4 mesh with two
+	// memory ports at opposite corners — sized for Channels=2.
+	AppBluRay2 App = "bluray2"
+	// AppDDTV4 is four SDTV-class decode quadrants on a 6x6 mesh with a
+	// memory port in each corner — sized for Channels=4.
+	AppDDTV4 App = "ddtv4"
+)
+
+// String returns the application name.
+func (a App) String() string { return string(a) }
+
+// ParseApp resolves an application from its name. It accepts exactly
+// the names AllApps lists; the empty string is not an application (the
+// Config zero value defaults it, ParseApp does not).
+func ParseApp(s string) (App, error) {
+	if _, err := appmodel.ByName(s); err != nil {
+		return "", fmt.Errorf("aanoc: %w %q", ErrUnknownApp, s)
+	}
+	return App(s), nil
+}
+
+// Apps lists the paper's benchmark application names: "bluray", "sdtv",
+// "ddtv".
 func Apps() []string {
 	var out []string
 	for _, a := range appmodel.Apps() {
@@ -69,16 +112,81 @@ func Apps() []string {
 	return out
 }
 
+// AllApps lists every application model: the paper's three plus the
+// scaled multi-channel variants.
+func AllApps() []App {
+	var out []App
+	for _, a := range appmodel.Apps() {
+		out = append(out, App(a.Name))
+	}
+	for _, a := range appmodel.Scaled() {
+		out = append(out, App(a.Name))
+	}
+	return out
+}
+
+// ChannelScheme selects how addresses interleave across SDRAM channels
+// on a multi-channel run; see the constants.
+type ChannelScheme = mapping.ChannelScheme
+
+const (
+	// BankThenChannel maps contiguous bank groups to each channel.
+	BankThenChannel = mapping.BankThenChannel
+	// ChannelThenBankXOR spreads consecutive banks round-robin across
+	// channels with a row-XOR fold (channel count must be a power of
+	// two).
+	ChannelThenBankXOR = mapping.ChannelThenBankXOR
+)
+
+// ParseChannelScheme resolves a scheme from its short name ("bank-chan",
+// "chan-bank-xor").
+func ParseChannelScheme(s string) (ChannelScheme, error) { return mapping.ParseChannelScheme(s) }
+
+// Sentinel errors Config.Validate wraps; test with errors.Is.
+var (
+	// ErrUnknownApp reports an application name AllApps does not list.
+	ErrUnknownApp = errors.New("unknown application")
+	// ErrBadGeneration reports a DDR generation outside 1-3.
+	ErrBadGeneration = errors.New("invalid DDR generation")
+	// ErrBadChannels reports a channel count the application model's
+	// memory ports (or the interleaving scheme) cannot support.
+	ErrBadChannels = errors.New("invalid channel count")
+)
+
 // Config selects one simulation run.
+//
+// The zero value is runnable: it simulates the Blu-ray application on
+// DDR2 at the paper's clock under the CONV design for 200,000 cycles
+// with one memory channel and the fixed default seed.
 type Config struct {
-	// App is "bluray", "sdtv" or "ddtv".
+	// Model is the application model. Empty defaults to AppBluRay —
+	// explicitly: the zero Config must be runnable, and the Blu-ray SoC
+	// is the paper's lead evaluation platform. Unknown names are
+	// rejected by Validate (wrapping ErrUnknownApp) before anything
+	// runs.
+	Model App
+	// App is the application name as a bare string.
+	//
+	// Deprecated: set Model (or use ParseApp). App is read only when
+	// Model is empty and keeps pre-v2 configs and callers compiling
+	// unchanged; it carries the same default and validation.
 	App string
-	// Generation is the DDR generation, 1-3.
+	// Generation is the DDR generation, 1-3 (0 defaults to 2, the
+	// paper's primary evaluation generation).
 	Generation int
 	// ClockMHz is the memory clock; 0 selects the application's paper
 	// clock for the generation (Table I rows).
 	ClockMHz int
 	Design   Design
+	// Channels is the number of independent SDRAM channels (0 or 1 =
+	// the paper's single SDRAM). Each channel is its own controller and
+	// device behind its own mesh ejection port, so the count must not
+	// exceed the application model's memory ports: 1 for the paper
+	// apps, 2 for AppBluRay2, 4 for AppDDTV4.
+	Channels int
+	// ChannelScheme is the multi-channel interleaving policy (default
+	// BankThenChannel); irrelevant single-channel.
+	ChannelScheme ChannelScheme
 	// PCT is the priority control token of the GSS hybrid (default 3).
 	PCT int
 	// GSSRouters is the Fig. 8 knob: 0 = all routers run the GSS engine,
@@ -97,45 +205,99 @@ type Config struct {
 	// Cycles is the simulated length in memory clock cycles
 	// (default 200,000; the paper runs 1,000,000).
 	Cycles int64
+	// Warmup is the cycle latency sampling starts after (0 defaults to
+	// Cycles/10; -1 samples from cycle 0).
+	Warmup int64
 	Seed   uint64
+	// SampleEvery, when positive, collects an observability time-series
+	// sample every SampleEvery cycles into Result.Obs.
+	SampleEvery int64
+	// Checked arms the runtime invariant layer (DRAM protocol monitor,
+	// NoC conservation audits, end-of-run accounting); violations
+	// accumulate into Result.Obs.Violations. Checked runs simulate
+	// identically to unchecked runs.
+	Checked bool
 }
 
 // Result carries one run's measurements; see the field documentation in
 // internal/system.
 type Result = system.Result
 
-// toInternal resolves the public config into the system configuration.
-func (c Config) toInternal() (system.Config, error) {
-	name := c.App
-	if name == "" {
-		name = "bluray"
+// model resolves the typed/deprecated-string/default application name.
+func (c Config) model() string {
+	switch {
+	case c.Model != "":
+		return string(c.Model)
+	case c.App != "":
+		return c.App
 	}
+	return string(AppBluRay)
+}
+
+// Validate reports whether the configuration can run, without running
+// it. Field errors wrap the package sentinels (ErrUnknownApp,
+// ErrBadGeneration, ErrBadChannels) for errors.Is dispatch.
+func (c Config) Validate() error {
+	_, err := c.toInternal()
+	return err
+}
+
+// toInternal resolves the public config into the system configuration,
+// validating every field the facade owns.
+func (c Config) toInternal() (system.Config, error) {
+	name := c.model()
 	app, err := appmodel.ByName(name)
 	if err != nil {
-		return system.Config{}, err
+		return system.Config{}, fmt.Errorf("aanoc: %w %q", ErrUnknownApp, name)
 	}
 	gen := dram.Generation(c.Generation)
 	if c.Generation == 0 {
 		gen = dram.DDR2
 	}
 	if gen < dram.DDR1 || gen > dram.DDR3 {
-		return system.Config{}, fmt.Errorf("aanoc: invalid DDR generation %d", c.Generation)
+		return system.Config{}, fmt.Errorf("aanoc: %w %d (want 1-3)", ErrBadGeneration, c.Generation)
+	}
+	if c.Channels < 0 {
+		return system.Config{}, fmt.Errorf("aanoc: %w %d", ErrBadChannels, c.Channels)
+	}
+	channels := c.Channels
+	if channels == 0 {
+		channels = 1
+	}
+	if ports := len(app.Ports()); channels > ports {
+		return system.Config{}, fmt.Errorf("aanoc: %w %d (app %s has %d memory port(s))",
+			ErrBadChannels, c.Channels, app.Name, ports)
+	}
+	if c.ChannelScheme == ChannelThenBankXOR && channels&(channels-1) != 0 {
+		return system.Config{}, fmt.Errorf("aanoc: %w %d (%s needs a power of two)",
+			ErrBadChannels, c.Channels, c.ChannelScheme)
 	}
 	return system.Config{
 		App: app, Gen: gen, ClockMHz: c.ClockMHz, Design: c.Design,
+		Channels: channels, Scheme: c.ChannelScheme,
 		PCT: c.PCT, GSSRouters: c.GSSRouters,
 		PriorityDemand:  c.PriorityDemand,
 		VirtualChannels: c.VirtualChannels,
 		AdaptiveRouting: c.AdaptiveRouting,
-		Cycles:          c.Cycles, Seed: c.Seed,
+		Cycles:          c.Cycles, Warmup: c.Warmup, Seed: c.Seed,
+		SampleEvery: c.SampleEvery, Checked: c.Checked,
 	}, nil
 }
 
-// Run executes one simulation and returns the paper's metrics.
+// Run executes one simulation and returns the paper's metrics. It is
+// RunContext without cancellation.
 func Run(c Config) (Result, error) {
+	return RunContext(context.Background(), c)
+}
+
+// RunContext executes one simulation, honouring cancellation between
+// kernel epochs: a cancelled context abandons the run within one epoch
+// (16,384 cycles) and returns the context's error. An uncancelled run
+// is identical to Run.
+func RunContext(ctx context.Context, c Config) (Result, error) {
 	cfg, err := c.toInternal()
 	if err != nil {
 		return Result{}, err
 	}
-	return system.Run(cfg)
+	return system.RunContext(ctx, cfg)
 }

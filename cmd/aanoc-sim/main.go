@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/mapping"
 	"aanoc/internal/obs"
 	"aanoc/internal/prof"
 	"aanoc/internal/system"
@@ -27,7 +30,7 @@ import (
 
 func main() {
 	var (
-		appName  = flag.String("app", "bluray", "application model: bluray, sdtv or ddtv")
+		appName  = flag.String("app", "bluray", "application model: bluray, sdtv, ddtv, bluray2 or ddtv4")
 		gen      = flag.Int("gen", 2, "DDR generation: 1, 2 or 3")
 		clock    = flag.Int("clock", 0, "memory clock in MHz (0: the app's clock for the generation)")
 		design   = flag.String("design", "GSS", "design: CONV, CONV+PFS, [4], [4]+PFS, GSS, GSS+SAGM, GSS+SAGM+STI")
@@ -36,6 +39,8 @@ func main() {
 		pct      = flag.Int("pct", 3, "priority control token for GSS designs")
 		gssN     = flag.Int("gss-routers", 0, "GSS routers nearest memory (0: all, -1: none)")
 		priority = flag.Bool("priority", false, "serve CPU demand requests as priority packets (Table II mode)")
+		channels = flag.Int("channels", 1, "independent SDRAM channels (needs an app with that many memory ports)")
+		scheme   = flag.String("chan-scheme", "bank-chan", "channel interleaving: bank-chan or chan-bank-xor")
 		all      = flag.Bool("all", false, "run every design on the selected app/generation")
 		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
 		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
@@ -46,6 +51,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupts cancel the run between kernel epochs, so a ^C exits
+	// promptly without killing the process mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
 		fatal(err)
@@ -54,10 +64,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sch, err := mapping.ParseChannelScheme(*scheme)
+	if err != nil {
+		fatal(err)
+	}
 	base := system.Config{
 		App: app, Gen: dram.Generation(*gen), ClockMHz: *clock,
 		Cycles: *cycles, Seed: *seed, PCT: *pct,
 		GSSRouters: *gssN, PriorityDemand: *priority,
+		Channels: *channels, Scheme: sch,
 		SampleEvery: *sample, Checked: *checked,
 	}
 	designs := []system.Design{}
@@ -82,7 +97,7 @@ func main() {
 	for _, d := range designs {
 		cfg := base
 		cfg.Design = d
-		res, err := system.Run(cfg)
+		res, err := system.RunContext(ctx, cfg)
 		if err != nil {
 			fatal(err)
 		}

@@ -16,16 +16,19 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/mapping"
 	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/sweep"
@@ -34,24 +37,37 @@ import (
 
 func main() {
 	var (
-		sweepName = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers")
+		sweepName = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers | channels")
 		appName   = flag.String("app", "bluray", "application model")
 		gen       = flag.Int("gen", 2, "DDR generation")
 		cycles    = flag.Int64("cycles", 120_000, "simulated cycles per point")
 		seed      = flag.Uint64("seed", 0, "RNG seed")
 		priority  = flag.Bool("priority", true, "serve demand requests as priority packets")
+		channels  = flag.Int("channels", 1, "independent SDRAM channels (fixed; the channels sweep varies it instead)")
+		scheme    = flag.String("chan-scheme", "bank-chan", "channel interleaving: bank-chan or chan-bank-xor")
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 		jsonOut   = flag.String("json", "", "also write each point's obs report as JSON to this file")
 		checked   = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
 	)
 	flag.Parse()
+
+	// Interrupts cancel the grid: in-flight points abandon within one
+	// kernel epoch and unstarted points never run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	app, err := appmodel.ByName(*appName)
+	if err != nil {
+		fatal(err)
+	}
+	sch, err := mapping.ParseChannelScheme(*scheme)
 	if err != nil {
 		fatal(err)
 	}
 	base := system.Config{
 		App: app, Gen: dram.Generation(*gen),
 		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
+		Channels: *channels, Scheme: sch,
 		Checked: *checked,
 	}
 
@@ -96,11 +112,20 @@ func main() {
 			}
 			add(fmt.Sprintf("k=%d", k), cfg)
 		}
+	case "channels":
+		// One point per supported channel count: how much bandwidth each
+		// additional channel buys the scaled apps.
+		for k := 1; k <= len(app.Ports()); k++ {
+			cfg := base
+			cfg.Design = system.GSSSAGM
+			cfg.Channels = k
+			add(fmt.Sprintf("chan=%d", k), cfg)
+		}
 	default:
 		fatal(fmt.Errorf("unknown sweep %q", *sweepName))
 	}
 
-	results, err := sweep.Collect(cfgs, sweep.Options{Workers: *parallel})
+	results, err := sweep.Collect(cfgs, sweep.Options{Workers: *parallel, Context: ctx})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,163 @@
+package aanoc
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The v2 facade contract: typed App, sentinel-wrapped validation, the
+// documented empty-App default, the deprecated string alias, and
+// context cancellation.
+
+func TestParseAppRoundTrip(t *testing.T) {
+	apps := AllApps()
+	if len(apps) != 5 {
+		t.Fatalf("AllApps = %v, want the 3 paper apps + 2 scaled", apps)
+	}
+	for _, a := range apps {
+		got, err := ParseApp(a.String())
+		if err != nil || got != a {
+			t.Errorf("ParseApp(%q) = %v, %v", a, got, err)
+		}
+	}
+	if _, err := ParseApp("nope"); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("ParseApp on garbage: %v, want ErrUnknownApp", err)
+	}
+	if _, err := ParseApp(""); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("ParseApp(\"\") = %v; the empty string is not an app (only Config defaults it)", err)
+	}
+}
+
+func TestValidateSentinels(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want error
+	}{
+		{"unknown model", Config{Model: "vax"}, ErrUnknownApp},
+		{"unknown legacy app", Config{App: "vax"}, ErrUnknownApp},
+		{"bad generation", Config{Generation: 9}, ErrBadGeneration},
+		{"negative generation", Config{Generation: -1}, ErrBadGeneration},
+		{"negative channels", Config{Channels: -1}, ErrBadChannels},
+		{"too many channels", Config{Model: AppBluRay, Channels: 2}, ErrBadChannels},
+		{"xor non-pow2", Config{Model: AppDDTV4, Channels: 3, ChannelScheme: ChannelThenBankXOR}, ErrBadChannels},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: Validate() = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// Validation happens before run time: Run must fail identically
+	// without simulating.
+	if _, err := Run(Config{Model: "vax"}); !errors.Is(err, ErrUnknownApp) {
+		t.Errorf("Run did not surface ErrUnknownApp: %v", err)
+	}
+}
+
+func TestValidateAcceptsRunnableConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		{}, // the zero config is runnable by contract
+		{Model: AppDDTV, Generation: 3, Design: GSSSAGMSTI},
+		{Model: AppBluRay2, Channels: 2, Checked: true},
+		{Model: AppDDTV4, Channels: 4, ChannelScheme: ChannelThenBankXOR},
+		{App: "sdtv", Generation: 1},
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", cfg, err)
+		}
+	}
+}
+
+// TestEmptyAppDefaultsToBluRay pins the documented default: an empty
+// Model (and empty deprecated App) selects the Blu-ray application.
+func TestEmptyAppDefaultsToBluRay(t *testing.T) {
+	res, err := Run(Config{Design: GSS, Cycles: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != AppBluRay.String() {
+		t.Fatalf("empty app ran %q, the documented default is %q", res.App, AppBluRay)
+	}
+}
+
+// TestDeprecatedAppAliasEquivalence: the string field must keep pre-v2
+// callers running identically, and Model wins when both are set.
+func TestDeprecatedAppAliasEquivalence(t *testing.T) {
+	byModel, err := Run(Config{Model: AppSDTV, Generation: 1, Design: GSSSAGM, Cycles: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byString, err := Run(Config{App: "sdtv", Generation: 1, Design: GSSSAGM, Cycles: 15_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(byModel, byString) {
+		t.Fatal("Model and deprecated App spellings diverge")
+	}
+	both := Config{Model: AppSDTV, App: "ddtv"}
+	if got := both.model(); got != "sdtv" {
+		t.Fatalf("Model should take precedence over App, resolved %q", got)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Config{Cycles: 1_000_000}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunContext = %v, want context.Canceled", err)
+	}
+	// A deadline mid-run must abandon a long simulation quickly.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel2()
+	start := time.Now()
+	_, err := RunContext(ctx2, Config{Cycles: 500_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestRunContextUncancelledMatchesRun(t *testing.T) {
+	cfg := Config{Model: AppBluRay, Design: GSSSAGM, PriorityDemand: true, Cycles: 20_000}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("RunContext diverges from Run")
+	}
+}
+
+// TestFacadeMultiChannel drives the new axis end to end through the
+// public API: two channels, checked, per-channel stats in the report.
+func TestFacadeMultiChannel(t *testing.T) {
+	res, err := Run(Config{
+		Model: AppBluRay2, Design: GSSSAGM, PriorityDemand: true,
+		Channels: 2, Cycles: 25_000, Checked: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Obs.Violations); n != 0 {
+		t.Fatalf("%d checked-mode violations", n)
+	}
+	if len(res.Obs.Memory.Channels) != 2 {
+		t.Fatalf("report has %d channel entries, want 2", len(res.Obs.Memory.Channels))
+	}
+}
+
+func TestParseChannelSchemeFacade(t *testing.T) {
+	s, err := ParseChannelScheme("chan-bank-xor")
+	if err != nil || s != ChannelThenBankXOR {
+		t.Fatalf("ParseChannelScheme = %v, %v", s, err)
+	}
+}

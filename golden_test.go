@@ -84,3 +84,46 @@ func TestGoldenReports(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenMultiChannel pins the two-channel report: the scaled
+// Blu-ray app on two SDRAM channels under GSS+SAGM, including the
+// per-channel schema the multi-channel subsystem added.
+func TestGoldenMultiChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system golden run")
+	}
+	cfg := system.Config{
+		App: appmodel.BluRay2(), Gen: dram.DDR2, Design: system.GSSSAGM,
+		Channels: 2, Cycles: 20_000, Seed: 0, PriorityDemand: true,
+	}
+	res, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Obs.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden", "chan2.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("two-channel report diverged from %s (%d vs %d bytes); run with -update and review the diff",
+			path, buf.Len(), len(want))
+	}
+	rep, err := obs.Parse(want)
+	if err != nil {
+		t.Fatalf("golden report no longer parses: %v", err)
+	}
+	if len(rep.Memory.Channels) != 2 {
+		t.Errorf("pinned report carries %d channel entries, want 2", len(rep.Memory.Channels))
+	}
+}

@@ -41,10 +41,24 @@ type App struct {
 	Name          string
 	Width, Height int
 	MemAt         noc.Coord
-	Cores         []Core
+	// MemPorts lists the mesh ejection ports of the memory subsystem's
+	// SDRAM channels, in channel order. Empty means the single port
+	// MemAt (the paper's system); when set, MemPorts[0] must equal MemAt
+	// so single-channel runs of a scaled model keep the canonical port.
+	MemPorts []noc.Coord
+	Cores    []Core
 	// Clocks lists the paper's memory clock per DDR generation for this
 	// application (Table I rows).
 	Clocks map[dram.Generation]int
+}
+
+// Ports returns the memory channel ports, falling back to the single
+// MemAt port for the paper's one-channel models.
+func (a *App) Ports() []noc.Coord {
+	if len(a.MemPorts) == 0 {
+		return []noc.Coord{a.MemAt}
+	}
+	return a.MemPorts
 }
 
 // Validate checks positions and stream specifications.
@@ -52,8 +66,19 @@ func (a *App) Validate() error {
 	if len(a.Cores) == 0 {
 		return fmt.Errorf("appmodel: %s has no cores", a.Name)
 	}
+	if len(a.MemPorts) > 0 && a.MemPorts[0] != a.MemAt {
+		return fmt.Errorf("appmodel: %s MemPorts[0] %v differs from MemAt %v", a.Name, a.MemPorts[0], a.MemAt)
+	}
 	seen := map[noc.Coord]string{}
-	seen[a.MemAt] = "memory"
+	for i, p := range a.Ports() {
+		if p.X < 0 || p.X >= a.Width || p.Y < 0 || p.Y >= a.Height {
+			return fmt.Errorf("appmodel: %s memory port %d at %v outside %dx%d", a.Name, i, p, a.Width, a.Height)
+		}
+		if prev, dup := seen[p]; dup {
+			return fmt.Errorf("appmodel: %s memory port %d collides with %s at %v", a.Name, i, prev, p)
+		}
+		seen[p] = fmt.Sprintf("memory port %d", i)
+	}
 	for _, c := range a.Cores {
 		if c.Pos.X < 0 || c.Pos.X >= a.Width || c.Pos.Y < 0 || c.Pos.Y >= a.Height {
 			return fmt.Errorf("appmodel: %s core %s at %v outside %dx%d", a.Name, c.Name, c.Pos, a.Width, a.Height)
@@ -234,6 +259,83 @@ func DualDTV() App {
 	}
 }
 
+// BluRay2 returns the scaled two-channel Blu-ray model ("bluray x2"):
+// two full player pipelines on a 4x4 mesh, each placed around its own
+// SDRAM channel port in an opposite corner. Every pipeline offers
+// roughly one channel's worth of bandwidth, so the model saturates both
+// channels — the regime the multi-channel subsystem exists for. With
+// Channels=1 it degenerates to a (heavily oversubscribed) single-SDRAM
+// system behind the canonical corner port.
+func BluRay2() App {
+	return App{
+		Name: "bluray2", Width: 4, Height: 4,
+		MemAt:    noc.Coord{X: 0, Y: 0},
+		MemPorts: []noc.Coord{{X: 0, Y: 0}, {X: 3, Y: 3}},
+		Clocks:   map[dram.Generation]int{dram.DDR1: 133, dram.DDR2: 266, dram.DDR3: 533},
+		Cores: []Core{
+			// Pipeline 0 around the (0,0) port.
+			streamer("enhancer0", noc.Coord{X: 1, Y: 0}, 1, []int{96, 128}, 0.30, 0.5),
+			streamer("formatconv0", noc.Coord{X: 0, Y: 1}, 2, []int{64, 96}, 0.20, 0.5),
+			codec("codec0", noc.Coord{X: 1, Y: 1}, 3, 0.10, 0.06),
+			cpu("cpu0", noc.Coord{X: 2, Y: 0}, 4, 40, 0.04),
+			streamer("discio0", noc.Coord{X: 0, Y: 2}, 5, []int{64}, 0.10, 0.3),
+			background("gfx0", noc.Coord{X: 2, Y: 1}, 6, []int{36}, 0.08, 0.6, traffic.Streaming),
+			background("audio0", noc.Coord{X: 0, Y: 3}, 7, []int{4, 12}, 0.03, 0.6, traffic.Streaming),
+			// Pipeline 1 mirrored around the (3,3) port.
+			streamer("enhancer1", noc.Coord{X: 2, Y: 3}, 8, []int{96, 128}, 0.30, 0.5),
+			streamer("formatconv1", noc.Coord{X: 3, Y: 2}, 9, []int{64, 96}, 0.20, 0.5),
+			codec("codec1", noc.Coord{X: 2, Y: 2}, 10, 0.10, 0.06),
+			cpu("cpu1", noc.Coord{X: 1, Y: 3}, 11, 40, 0.04),
+			streamer("discio1", noc.Coord{X: 3, Y: 1}, 12, []int{64}, 0.10, 0.3),
+			background("gfx1", noc.Coord{X: 1, Y: 2}, 13, []int{36}, 0.08, 0.6, traffic.Streaming),
+			background("audio1", noc.Coord{X: 3, Y: 0}, 14, []int{4, 12}, 0.03, 0.6, traffic.Streaming),
+		},
+	}
+}
+
+// dtvQuadrant builds one DTV pipeline of the quad model: the SingleDTV
+// core set placed in a 3x3 quadrant around its corner channel port,
+// mirrored so the bandwidth-hungry cores stay adjacent to the port.
+func dtvQuadrant(q int, corner noc.Coord, sx, sy int) []Core {
+	at := func(dx, dy int) noc.Coord {
+		return noc.Coord{X: corner.X + sx*dx, Y: corner.Y + sy*dy}
+	}
+	sfx := fmt.Sprintf("%d", q)
+	r := q * 4
+	return []Core{
+		streamer("enhancer"+sfx, at(1, 0), r+1, []int{128}, 0.28, 0.5),
+		streamer("scaler"+sfx, at(0, 1), r+2, []int{64}, 0.16, 0.5),
+		codec("vdec"+sfx, at(1, 1), r+3, 0.10, 0.06),
+		cpu("cpu"+sfx, at(2, 0), r+4, 40, 0.04),
+		streamer("demux"+sfx, at(0, 2), r+5, []int{20, 36}, 0.06, 0.4),
+		background("osd"+sfx, at(2, 1), r+6, []int{36}, 0.06, 0.6, traffic.Streaming),
+		background("audio"+sfx, at(1, 2), r+7, []int{4, 12}, 0.03, 0.6, traffic.Streaming),
+		background("periph"+sfx, at(2, 2), r+8, []int{2, 4}, 0.03, 0.5, traffic.Random),
+	}
+}
+
+// QuadDTV returns the scaled four-channel DTV model ("ddtv x4" in the
+// roadmap's naming: the dual-DTV workload doubled again): four complete
+// DTV pipelines on a 6x6 mesh, one SDRAM channel port in each corner,
+// each quadrant's pipeline placed around its own port. The aggregate
+// offered load is roughly four single-DTV systems, saturating all four
+// channels.
+func QuadDTV() App {
+	a := App{
+		Name: "ddtv4", Width: 6, Height: 6,
+		MemAt: noc.Coord{X: 0, Y: 0},
+		MemPorts: []noc.Coord{
+			{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 0, Y: 5}, {X: 5, Y: 5},
+		},
+		Clocks: map[dram.Generation]int{dram.DDR1: 200, dram.DDR2: 400, dram.DDR3: 800},
+	}
+	a.Cores = append(a.Cores, dtvQuadrant(0, noc.Coord{X: 0, Y: 0}, 1, 1)...)
+	a.Cores = append(a.Cores, dtvQuadrant(1, noc.Coord{X: 5, Y: 0}, -1, 1)...)
+	a.Cores = append(a.Cores, dtvQuadrant(2, noc.Coord{X: 0, Y: 5}, 1, -1)...)
+	a.Cores = append(a.Cores, dtvQuadrant(3, noc.Coord{X: 5, Y: 5}, -1, -1)...)
+	return a
+}
+
 // LowUtil returns a deliberately under-loaded 3x3 model: the Blu-ray
 // platform in a navigation/standby phase — only the microprocessor's
 // demand misses (long think times), a trickle of prefetch, and sparse
@@ -253,15 +355,26 @@ func LowUtil() App {
 	}
 }
 
-// Apps returns the three benchmark models.
+// Apps returns the three benchmark models of the paper's evaluation.
 func Apps() []App { return []App{BluRay(), SingleDTV(), DualDTV()} }
 
-// ByName looks an application model up by its short name.
+// Scaled returns the multi-channel scaled variants: the models that
+// exist to exercise 2-4 SDRAM channels beyond the paper's single-SDRAM
+// systems.
+func Scaled() []App { return []App{BluRay2(), QuadDTV()} }
+
+// ByName looks an application model up by its short name, covering both
+// the paper's benchmarks and the scaled multi-channel variants.
 func ByName(name string) (App, error) {
 	for _, a := range Apps() {
 		if a.Name == name {
 			return a, nil
 		}
 	}
-	return App{}, fmt.Errorf("appmodel: unknown application %q (want bluray, sdtv or ddtv)", name)
+	for _, a := range Scaled() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("appmodel: unknown application %q (want bluray, sdtv, ddtv, bluray2 or ddtv4)", name)
 }

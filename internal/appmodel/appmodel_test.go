@@ -136,3 +136,80 @@ func TestHeavyCoresAdjacentToMemory(t *testing.T) {
 		}
 	}
 }
+
+func TestScaledAppsValidate(t *testing.T) {
+	for _, a := range Scaled() {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestScaledAppGeometry(t *testing.T) {
+	b2 := BluRay2()
+	if len(b2.Ports()) != 2 || len(b2.Cores) != 14 || b2.Width != 4 || b2.Height != 4 {
+		t.Errorf("bluray2 geometry: %d ports, %d cores, %dx%d", len(b2.Ports()), len(b2.Cores), b2.Width, b2.Height)
+	}
+	q4 := QuadDTV()
+	if len(q4.Ports()) != 4 || len(q4.Cores) != 32 || q4.Width != 6 || q4.Height != 6 {
+		t.Errorf("ddtv4 geometry: %d ports, %d cores, %dx%d", len(q4.Ports()), len(q4.Cores), q4.Width, q4.Height)
+	}
+	// Paper apps stay single-port, and every scaled app's port 0 is the
+	// canonical MemAt corner.
+	for _, a := range Apps() {
+		if len(a.Ports()) != 1 || a.Ports()[0] != a.MemAt {
+			t.Errorf("%s: paper app should have the single MemAt port", a.Name)
+		}
+	}
+	for _, a := range Scaled() {
+		if a.Ports()[0] != a.MemAt {
+			t.Errorf("%s: MemPorts[0] %v != MemAt %v", a.Name, a.Ports()[0], a.MemAt)
+		}
+	}
+}
+
+func TestScaledLoadsSaturatePerChannel(t *testing.T) {
+	// Each scaled model must offer roughly one saturated SDRAM's load per
+	// channel, otherwise the extra channels have nothing to absorb.
+	for _, a := range Scaled() {
+		perChannel := a.TotalLoad() / float64(len(a.Ports()))
+		if perChannel < 0.6 {
+			t.Errorf("%s offers %.2f open-loop load per channel (< 0.6, under-loaded)", a.Name, perChannel)
+		}
+	}
+}
+
+func TestByNameFindsScaled(t *testing.T) {
+	for _, name := range []string{"bluray2", "ddtv4"} {
+		a, err := ByName(name)
+		if err != nil || a.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, a.Name, err)
+		}
+	}
+	if len(Apps()) != 3 {
+		t.Errorf("Apps() must stay the paper's three models, got %d", len(Apps()))
+	}
+}
+
+func TestValidateRejectsBadPorts(t *testing.T) {
+	a := BluRay2()
+	a.MemPorts = []noc.Coord{{X: 3, Y: 3}, {X: 0, Y: 0}} // port 0 != MemAt
+	if err := a.Validate(); err == nil {
+		t.Error("accepted MemPorts[0] != MemAt")
+	}
+	b := BluRay2()
+	b.MemPorts = []noc.Coord{{X: 0, Y: 0}, {X: 9, Y: 9}}
+	if err := b.Validate(); err == nil {
+		t.Error("accepted out-of-mesh memory port")
+	}
+	c := BluRay2()
+	c.MemPorts = []noc.Coord{{X: 0, Y: 0}, {X: 0, Y: 0}}
+	if err := c.Validate(); err == nil {
+		t.Error("accepted duplicate memory ports")
+	}
+	d := BluRay2()
+	d.MemPorts = []noc.Coord{{X: 0, Y: 0}, d.Cores[0].Pos}
+	if err := d.Validate(); err == nil {
+		t.Error("accepted a memory port on a core position")
+	}
+}

@@ -188,7 +188,12 @@ type StreamQuality struct {
 	Contentions int64 `json:"contentions"`
 }
 
-// Memory is the memory-subsystem breakdown.
+// Memory is the memory-subsystem breakdown. On a multi-channel run the
+// flat fields aggregate across channels (Banks sums each bank index over
+// the channel devices, SinkReadyHWM takes the worst channel, Stream sums
+// the pair classifications) and Channels carries the per-channel detail;
+// single-channel reports leave Channels and Imbalance absent, keeping
+// their JSON byte-identical to the single-SDRAM schema.
 type Memory struct {
 	Banks []BankStat `json:"banks"`
 	// SinkReadyHWM is the memory-side request sink's ready-list
@@ -197,6 +202,38 @@ type Memory struct {
 	// Stream is present for the paper's lightweight controller, which
 	// observes the arrival order the network scheduled.
 	Stream *StreamQuality `json:"stream,omitempty"`
+	// Channels is the per-channel breakdown of a multi-channel run, in
+	// channel order (absent single-channel).
+	Channels []ChannelStat `json:"channels,omitempty"`
+	// Imbalance is the load-imbalance factor over the channels' data
+	// cycles: busiest channel / mean channel, so 1.0 is perfectly
+	// balanced and Channels-many means one channel took everything.
+	// Absent single-channel or when no data moved.
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// ChannelStat is one SDRAM channel of a multi-channel run: its mesh
+// ejection port, its bandwidth, and its own device-level breakdown.
+type ChannelStat struct {
+	Channel int `json:"channel"`
+	// Port is the mesh coordinate of the channel's ejection port.
+	Port string `json:"port"`
+	// Utilization is this channel's data-bus busy fraction; DataCycles
+	// the underlying busy-cycle count (per-channel bandwidth).
+	Utilization float64 `json:"utilization"`
+	DataCycles  int64   `json:"dataCycles"`
+	// Splits counts the request packets routed to this channel;
+	// Completions the completions it signalled back. The difference is
+	// the channel's in-flight work at end of run (checked mode audits
+	// the conservation).
+	Splits      int64 `json:"splits"`
+	Completions int64 `json:"completions"`
+	// Banks is this channel device's per-bank command breakdown.
+	Banks []BankStat `json:"banks"`
+	// SinkReadyHWM is the channel's request-sink ready-list high-water
+	// mark; Stream its arrival-order quality (lightweight controller).
+	SinkReadyHWM int            `json:"sinkReadyHWM"`
+	Stream       *StreamQuality `json:"stream,omitempty"`
 }
 
 // Sample is one point of the optional time series. All occupancy fields
@@ -261,6 +298,17 @@ func (r *Report) Validate() error {
 	for _, s := range r.Samples {
 		if s.Cycle <= 0 || s.Cycle > r.Cycles {
 			return fmt.Errorf("obs: sample cycle %d outside run (0,%d]", s.Cycle, r.Cycles)
+		}
+	}
+	for _, ch := range r.Memory.Channels {
+		if ch.Utilization < 0 || ch.Utilization > 1 {
+			return fmt.Errorf("obs: channel %d utilization %v outside [0,1]", ch.Channel, ch.Utilization)
+		}
+		if len(ch.Banks) == 0 {
+			return fmt.Errorf("obs: channel %d has no per-bank breakdown", ch.Channel)
+		}
+		if ch.Completions > ch.Splits {
+			return fmt.Errorf("obs: channel %d completed %d of %d routed splits", ch.Channel, ch.Completions, ch.Splits)
 		}
 	}
 	return nil

@@ -28,6 +28,13 @@ func Fingerprint(cfg system.Config) (string, bool) {
 	// walked by generation; cores and streams are slices and keep their
 	// declaration order.
 	fmt.Fprintf(h, "app=%s/%dx%d/mem%+v|", c.App.Name, c.App.Width, c.App.Height, c.App.MemAt)
+	// The memory-port list and the channel axes: Ports() folds the
+	// single-port default, so an explicit one-element MemPorts and an
+	// empty one hash alike, exactly as they run alike.
+	for _, p := range c.App.Ports() {
+		fmt.Fprintf(h, "port=%+v|", p)
+	}
+	fmt.Fprintf(h, "chan=%d scheme=%d|", c.Channels, c.Scheme)
 	for gen := dram.DDR1; gen <= dram.DDR3; gen++ {
 		fmt.Fprintf(h, "clk%d=%d|", gen, c.App.Clocks[gen])
 	}

@@ -15,6 +15,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -29,6 +30,13 @@ type Options struct {
 	// Zero or negative selects runtime.GOMAXPROCS(0); 1 restores strictly
 	// serial in-order execution (no goroutines are spawned).
 	Workers int
+
+	// Context, when non-nil, cancels the grid: points not yet started
+	// settle with the context's error, and the default run function
+	// becomes system.RunContext so in-flight simulations abandon within
+	// one kernel epoch. A nil Context never cancels. (An explicit
+	// RunFunc is responsible for its own cancellation.)
+	Context context.Context
 
 	// DisableCache turns off config-fingerprint deduplication, forcing
 	// every grid point to simulate even when an identical point already
@@ -95,9 +103,15 @@ func Run(cfgs []system.Config, o Options) ([]Result, Stats) {
 	if total == 0 {
 		return results, st
 	}
+	ctx := o.Context
 	run := o.RunFunc
 	if run == nil {
 		run = system.Run
+		if ctx != nil {
+			run = func(cfg system.Config) (system.Result, error) {
+				return system.RunContext(ctx, cfg)
+			}
+		}
 	}
 
 	var (
@@ -127,6 +141,12 @@ func Run(cfgs []system.Config, o Options) ([]Result, Stats) {
 				return
 			}
 			cfg := cfgs[i]
+			if ctx != nil && ctx.Err() != nil {
+				// Cancelled: unstarted points settle immediately instead of
+				// simulating; their Result.Err carries the context error.
+				settle(i, system.Result{}, ctx.Err(), false)
+				continue
+			}
 			fp, cacheable := Fingerprint(cfg)
 			if o.DisableCache || !cacheable {
 				res, err := safeRun(run, cfg)

@@ -1,7 +1,10 @@
 package system
 
 import (
+	"fmt"
+
 	"aanoc/internal/check"
+	"aanoc/internal/dram"
 	"aanoc/internal/obs"
 )
 
@@ -25,8 +28,12 @@ import (
 func (r *Runner) installChecks() {
 	r.chk = &check.Checker{Panic: r.cfg.CheckedPanic}
 	r.genPerCore = make([]int64, len(r.cores))
-	mon := check.NewDRAMMonitor(r.chk, r.timing)
-	r.dev.Observer = mon.Observe
+	// One protocol monitor per channel: each device's command stream is
+	// validated against its own shadow timing state.
+	for _, d := range r.devs {
+		mon := check.NewDRAMMonitor(r.chk, r.timing)
+		d.Observer = mon.Observe
+	}
 }
 
 // auditMeshes runs the conservation walk over both meshes, binding each
@@ -72,6 +79,16 @@ func (r *Runner) finalChecks(rep *obs.Report) {
 				r.cores[i].spec.Name, r.genPerCore[i], r.coreStats[i].Completed, perCore[i])
 		}
 	}
+	// Per-channel split conservation: a channel cannot complete more
+	// splits than the interleaving policy routed to it, and every split
+	// was routed to exactly one channel.
+	for ch := range r.chSent {
+		if r.chDone[ch] > r.chSent[ch] {
+			c.Reportf(-1, "runner", "channel-accounting",
+				"channel %d completed %d splits but only %d were routed to it",
+				ch, r.chDone[ch], r.chSent[ch])
+		}
+	}
 	// GSS token tables.
 	for _, g := range r.gssAllocs {
 		g.AuditTokens(func(kind, format string, args ...any) {
@@ -111,10 +128,21 @@ func (r *Runner) checkReport(rep *obs.Report) {
 			}
 		}
 	}
-	// The per-bank breakdown must sum to the device's command totals.
-	st := r.dev.Stats()
+	// The per-bank breakdown must sum to the devices' command totals
+	// (every channel's device in aggregate).
+	r.checkBankBreakdown(rep.Memory.Banks, r.aggStats(), "aggregate")
+	// And each channel's own breakdown must sum to its own device.
+	for _, cs := range rep.Memory.Channels {
+		r.checkBankBreakdown(cs.Banks, r.devs[cs.Channel].Stats(),
+			fmt.Sprintf("channel %d", cs.Channel))
+	}
+}
+
+// checkBankBreakdown verifies one per-bank table against the device
+// stats it claims to decompose.
+func (r *Runner) checkBankBreakdown(banks []obs.BankStat, st dram.Stats, scope string) {
 	var acts, reads, writes, pres, aps int64
-	for _, b := range rep.Memory.Banks {
+	for _, b := range banks {
 		acts += b.Activates
 		reads += b.Reads
 		writes += b.Writes
@@ -132,9 +160,9 @@ func (r *Runner) checkReport(rep *obs.Report) {
 		{"auto-precharges", aps, st.AutoPre},
 	} {
 		if mismatch.sum != mismatch.total {
-			c.Reportf(-1, "obs", "bank-breakdown",
-				"per-bank %s sum to %d, device counted %d",
-				mismatch.name, mismatch.sum, mismatch.total)
+			r.chk.Reportf(-1, "obs", "bank-breakdown",
+				"%s per-bank %s sum to %d, device counted %d",
+				scope, mismatch.name, mismatch.sum, mismatch.total)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package system
 
 import (
+	"fmt"
+
 	"aanoc/internal/noc"
 	"aanoc/internal/sim"
 )
@@ -66,37 +68,53 @@ func (r *Runner) buildKernel() {
 	regMesh("req", r.reqMesh)
 	regMesh("resp", r.respMesh)
 
-	hAdmit := k.Register(&comp{
-		name: "mem-admit", phase: sim.PhaseAdmit,
-		tick: func(now int64) {
-			r.memSink.Step(now)
-			for {
-				p := r.memSink.Peek()
-				if p == nil || !r.ctrl.Offer(p, now) {
-					break
-				}
-				r.memSink.Pop(now)
-				// The controller must see the admission this cycle. (A
-				// refused Offer needs no wake: every refusal reason —
-				// refresh drain, a full window, a backlogged thread
-				// queue — implies the controller is already awake.)
-				r.hMem.Wake(now)
-			}
-		},
-		next: func(now int64) int64 {
-			if r.memSink.Occupied() > 0 || r.memSink.Ready() > 0 {
-				return now + 1
-			}
-			return sim.Never
-		},
-	})
-	r.memSink.OnArrival = func(now int64) { hAdmit.Wake(now) }
+	// chName suffixes a component name with its channel on multi-channel
+	// runs only, so single-channel kernels keep the seed's exact names.
+	chName := func(base string, ch int) string {
+		if len(r.devs) == 1 {
+			return base
+		}
+		return fmt.Sprintf("%s/ch%d", base, ch)
+	}
 
-	r.hMem = k.Register(&comp{
-		name: "memctrl", phase: sim.PhaseMemTick,
-		tick: func(now int64) { r.ctrl.Tick(now) },
-		next: r.ctrl.NextEvent,
-	})
+	for ch := range r.devs {
+		ch := ch
+		sink, ctrl := r.memSinks[ch], r.ctrls[ch]
+		hAdmit := k.Register(&comp{
+			name: chName("mem-admit", ch), phase: sim.PhaseAdmit,
+			tick: func(now int64) {
+				sink.Step(now)
+				for {
+					p := sink.Peek()
+					if p == nil || !ctrl.Offer(p, now) {
+						break
+					}
+					sink.Pop(now)
+					// The controller must see the admission this cycle. (A
+					// refused Offer needs no wake: every refusal reason —
+					// refresh drain, a full window, a backlogged thread
+					// queue — implies the controller is already awake.)
+					r.hMems[ch].Wake(now)
+				}
+			},
+			next: func(now int64) int64 {
+				if sink.Occupied() > 0 || sink.Ready() > 0 {
+					return now + 1
+				}
+				return sim.Never
+			},
+		})
+		sink.OnArrival = func(now int64) { hAdmit.Wake(now) }
+	}
+
+	for ch := range r.devs {
+		ctrl := r.ctrls[ch]
+		r.hMems = append(r.hMems, k.Register(&comp{
+			name: chName("memctrl", ch), phase: sim.PhaseMemTick,
+			tick: func(now int64) { ctrl.Tick(now) },
+			next: ctrl.NextEvent,
+		}))
+	}
 
 	for _, c := range r.cores {
 		c := c
@@ -122,16 +140,19 @@ func (r *Runner) buildKernel() {
 		c.sink.OnArrival = func(now int64) { hc.Wake(now) }
 	}
 
-	r.hRespInj = k.Register(&comp{
-		name: "resp-inject", phase: sim.PhaseInject,
-		tick: func(now int64) { r.respInj.Step(now) },
-		next: func(now int64) int64 {
-			if r.respInj.QueueLen() > 0 {
-				return now + 1
-			}
-			return sim.Never
-		},
-	})
+	for ch := range r.devs {
+		inj := r.respInjs[ch]
+		r.hRespInjs = append(r.hRespInjs, k.Register(&comp{
+			name: chName("resp-inject", ch), phase: sim.PhaseInject,
+			tick: func(now int64) { inj.Step(now) },
+			next: func(now int64) int64 {
+				if inj.QueueLen() > 0 {
+					return now + 1
+				}
+				return sim.Never
+			},
+		}))
+	}
 
 	for i, c := range r.cores {
 		i, c := i, c

@@ -69,8 +69,10 @@ func TestDrainToQuiescence(t *testing.T) {
 			if !r.respMesh.Quiescent() {
 				t.Error("response mesh not quiescent after drain")
 			}
-			if r.ctrl.Busy() {
-				t.Error("memory controller busy after drain")
+			for ch, ctrl := range r.ctrls {
+				if ctrl.Busy() {
+					t.Errorf("memory controller %d busy after drain", ch)
+				}
 			}
 		})
 	}

@@ -1,6 +1,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -25,6 +26,18 @@ type Config struct {
 	Gen      dram.Generation
 	ClockMHz int // 0: the application's clock for Gen
 	Design   Design
+
+	// Channels is the number of independent SDRAM channels (default 1).
+	// Each channel is its own controller/device pair behind its own mesh
+	// ejection port (App.MemPorts); a request's owning channel is a pure
+	// function of its address under the Scheme interleaving policy.
+	// Channels must not exceed the application model's port count.
+	// Channels=1 reproduces the single-SDRAM system exactly.
+	Channels int
+	// Scheme selects the channel-interleaving policy (default
+	// mapping.BankThenChannel; the XOR scheme needs a power-of-two
+	// channel count). Irrelevant single-channel.
+	Scheme mapping.ChannelScheme
 
 	// PCT is the hybrid priority control token for GSS designs
 	// (default 3; [4] and [4]+PFS override it).
@@ -204,6 +217,9 @@ func (c Config) withDefaults() Config {
 	if c.MemPipeline == 0 {
 		c.MemPipeline = 8
 	}
+	if c.Channels == 0 {
+		c.Channels = 1
+	}
 	if c.CheckedPanic {
 		c.Checked = true
 	}
@@ -238,12 +254,23 @@ type coreNI struct {
 type Runner struct {
 	cfg    Config
 	timing dram.Timing
-	dev    *dram.Device
+
+	// The memory subsystem is one controller/device/port tuple per
+	// channel, all slices indexed by channel. chmap owns the global-bank
+	// interleaving; ports[ch] is channel ch's mesh ejection coordinate.
+	// Single-channel runs are the one-element case of the same wiring.
+	devs     []*dram.Device
+	ctrls    []memctrl.Controller
+	memSinks []*noc.Sink
+	respInjs []*noc.Injector
+	ports    []noc.Coord
+	chmap    mapping.ChannelMap
+	// chSent/chDone count split packets routed to and completed by each
+	// channel — the per-channel conservation ledger (checked mode) and
+	// the obs per-channel Splits/Completions counters.
+	chSent, chDone []int64
 
 	reqMesh, respMesh *noc.Mesh
-	memSink           *noc.Sink
-	respInj           *noc.Injector
-	ctrl              memctrl.Controller
 
 	cores   []*coreNI
 	bySrc   map[noc.Coord]*coreNI
@@ -259,10 +286,10 @@ type Runner struct {
 	// targets of cross-component events (admissions wake the controller,
 	// completions wake the response injector and the requesting core's
 	// generators).
-	kern     *sim.Kernel
-	hMem     *sim.Handle
-	hRespInj *sim.Handle
-	hInject  []*sim.Handle // indexed like cores
+	kern      *sim.Kernel
+	hMems     []*sim.Handle // indexed by channel
+	hRespInjs []*sim.Handle // indexed by channel
+	hInject   []*sim.Handle // indexed like cores
 
 	// Observability state: per-core stall cycles (indexed like cores),
 	// the collected time series, and the data-cycle watermark of the
@@ -308,14 +335,25 @@ func New(cfg Config) (*Runner, error) {
 	if cfg.Design.usesSAGM() && cfg.Gen != dram.DDR3 {
 		timing = timing.WithDeviceBL(4)
 	}
-	dev, err := dram.NewDevice(timing)
+	allPorts := cfg.App.Ports()
+	if cfg.Channels < 1 {
+		return nil, fmt.Errorf("system: channels must be at least 1, got %d", cfg.Channels)
+	}
+	if cfg.Channels > len(allPorts) {
+		return nil, fmt.Errorf("system: app %s exposes %d memory port(s) but the config asks for %d channels",
+			cfg.App.Name, len(allPorts), cfg.Channels)
+	}
+	chmap, err := mapping.NewChannelMap(cfg.Scheme, cfg.Channels, timing.Banks)
 	if err != nil {
 		return nil, err
 	}
 	r := &Runner{
 		cfg:     cfg,
 		timing:  timing,
-		dev:     dev,
+		ports:   allPorts[:cfg.Channels],
+		chmap:   chmap,
+		chSent:  make([]int64, cfg.Channels),
+		chDone:  make([]int64, cfg.Channels),
 		bySrc:   map[noc.Coord]*coreNI{},
 		parents: map[int64]*logical{},
 	}
@@ -331,32 +369,43 @@ func New(cfg Config) (*Runner, error) {
 	}
 	r.installAllocators()
 
-	// Memory subsystem attachment.
+	// Memory subsystem attachment, one controller/device pair behind each
+	// channel's ejection port.
 	memReady := 4
 	if cfg.Design.usesMemMax() {
 		memReady = 8
 	}
-	r.memSink = r.reqMesh.AttachSink(cfg.App.MemAt, 2*cfg.BufFlits, memReady)
-	r.respInj = r.respMesh.AttachInjector(cfg.App.MemAt)
+	for ch := 0; ch < cfg.Channels; ch++ {
+		ch := ch
+		dev, err := dram.NewDevice(timing)
+		if err != nil {
+			return nil, err
+		}
+		r.devs = append(r.devs, dev)
+		r.memSinks = append(r.memSinks, r.reqMesh.AttachSink(r.ports[ch], 2*cfg.BufFlits, memReady))
+		r.respInjs = append(r.respInjs, r.respMesh.AttachInjector(r.ports[ch]))
 
-	onDone := func(c memctrl.Completion) { r.onMemDone(c) }
-	if cfg.Design.usesMemMax() {
-		mm := memctrl.DefaultMemMaxConfig()
-		mm.PriorityFirst = cfg.Design == ConvPFS
-		// The bus-level scheduler hands one transaction at a time to the
-		// controller, whose command look-ahead prepares the next page
-		// while the current data transfers (a window of two).
-		mm.PipelineDepth = 2
-		r.ctrl = memctrl.NewMemMax(dev, mm, onDone)
-	} else {
-		policy := memctrl.OpenPage
-		if cfg.Design.usesSAGM() {
-			policy = memctrl.PartialOpenPage
+		onDone := func(c memctrl.Completion) { r.onMemDone(ch, c) }
+		var ctrl memctrl.Controller
+		if cfg.Design.usesMemMax() {
+			mm := memctrl.DefaultMemMaxConfig()
+			mm.PriorityFirst = cfg.Design == ConvPFS
+			// The bus-level scheduler hands one transaction at a time to the
+			// controller, whose command look-ahead prepares the next page
+			// while the current data transfers (a window of two).
+			mm.PipelineDepth = 2
+			ctrl = memctrl.NewMemMax(dev, mm, onDone)
+		} else {
+			policy := memctrl.OpenPage
+			if cfg.Design.usesSAGM() {
+				policy = memctrl.PartialOpenPage
+			}
+			if cfg.PagePolicy != nil {
+				policy = *cfg.PagePolicy
+			}
+			ctrl = memctrl.NewSimple(dev, policy, cfg.MemPipeline, onDone)
 		}
-		if cfg.PagePolicy != nil {
-			policy = *cfg.PagePolicy
-		}
-		r.ctrl = memctrl.NewSimple(dev, policy, cfg.MemPipeline, onDone)
+		r.ctrls = append(r.ctrls, ctrl)
 	}
 
 	if cfg.Design.usesSAGM() {
@@ -389,7 +438,10 @@ func New(cfg Config) (*Runner, error) {
 			ni.gens = append(ni.gens, trace.NewReplayer(replay[spec.Name]))
 		} else {
 			for _, s := range spec.Streams {
-				g, err := traffic.NewGen(s, timing.Banks, appmodel.RowBeats, cfg.PriorityDemand, sim.NewRNG(rng.Uint64()))
+				// Generators walk the global bank space: with C channels of
+				// B banks each, banks [0, C*B) spread the streams across
+				// every channel; C=1 is exactly the single-device walk.
+				g, err := traffic.NewGen(s, cfg.Channels*timing.Banks, appmodel.RowBeats, cfg.PriorityDemand, sim.NewRNG(rng.Uint64()))
 				if err != nil {
 					return nil, err
 				}
@@ -429,7 +481,7 @@ func (r *Runner) installAllocators() {
 	}
 	gssSet := map[noc.Coord]bool{}
 	if cfg.Design.usesGSSEngine() {
-		order := mapping.RoutersByDistance(cfg.App.Width, cfg.App.Height, cfg.App.MemAt)
+		order := mapping.RoutersByPortDistance(cfg.App.Width, cfg.App.Height, r.ports)
 		n := cfg.GSSRouters
 		switch {
 		case n == 0 || n > len(order):
@@ -471,10 +523,11 @@ func (r *Runner) installAllocators() {
 	}
 }
 
-// onMemDone handles a controller completion: writes complete the split
-// immediately; reads send a response packet back through the response
-// mesh.
-func (r *Runner) onMemDone(c memctrl.Completion) {
+// onMemDone handles a controller completion on one channel: writes
+// complete the split immediately; reads send a response packet back
+// through the response mesh from the channel's port.
+func (r *Runner) onMemDone(ch int, c memctrl.Completion) {
+	r.chDone[ch]++
 	p := c.Pkt
 	if p.Kind == noc.Write {
 		r.completeSplit(p, c.At)
@@ -483,16 +536,16 @@ func (r *Runner) onMemDone(c memctrl.Completion) {
 	r.nextID++
 	resp := &noc.Packet{
 		ID: r.nextID, ParentID: p.ParentID,
-		SrcCore: p.SrcCore, Src: r.cfg.App.MemAt, Dst: p.Src,
+		SrcCore: p.SrcCore, Src: r.ports[ch], Dst: p.Src,
 		Kind: noc.Read, Class: p.Class, Priority: p.Priority,
 		Addr: p.Addr, Beats: p.Beats,
 		Flits: noc.FlitsForBeats(p.Beats), Splits: p.Splits,
 		Gen: p.Gen, Response: true,
 	}
-	r.respInj.Enqueue(resp)
+	r.respInjs[ch].Enqueue(resp)
 	// Completions fire in the MemTick phase; the response injector's
 	// Inject slot is later this same cycle, as in the monolithic step.
-	r.hRespInj.Wake(r.kern.Now())
+	r.hRespInjs[ch].Wake(r.kern.Now())
 }
 
 // completeSplit retires one split of a logical request; the last one
@@ -555,13 +608,20 @@ func (r *Runner) sample(cycle, interval int64) {
 	for _, c := range r.cores {
 		queued += c.inj.QueueFlits()
 	}
-	dc := r.dev.Stats().DataCycles
+	var dc int64
+	ready := 0
+	for ch := range r.devs {
+		dc += r.devs[ch].Stats().DataCycles
+		ready += r.memSinks[ch].Ready()
+	}
+	// Multi-channel windows report the mean per-channel utilization, so
+	// the [0,1] bound holds at any channel count.
 	r.samples = append(r.samples, obs.Sample{
 		Cycle:       cycle,
-		Utilization: float64(dc-r.lastSampleD) / float64(interval),
+		Utilization: float64(dc-r.lastSampleD) / float64(interval*int64(len(r.devs))),
 		Outstanding: len(r.parents),
 		QueueFlits:  queued,
-		MemReady:    r.memSink.Ready(),
+		MemReady:    ready,
 	})
 	r.lastSampleD = dc
 }
@@ -574,12 +634,17 @@ func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request
 			panic(fmt.Sprintf("system: trace capture failed: %v", err))
 		}
 	}
+	// Route the request to its owning channel before splitting: SAGM
+	// splits never cross a row, so the whole split chain shares one
+	// channel, and the packets carry the channel-local address the
+	// owning device decodes. Single-channel routing is the identity.
+	ch, local := r.chmap.Route(req.Addr)
 	r.nextID++
 	base := &noc.Packet{
 		ID: r.nextID, ParentID: r.nextID,
-		SrcCore: indexOf(r.cores, c), Src: c.spec.Pos, Dst: r.cfg.App.MemAt,
+		SrcCore: indexOf(r.cores, c), Src: c.spec.Pos, Dst: r.ports[ch],
 		Kind: req.Kind, Class: req.Class, Priority: req.Priority,
-		Addr: req.Addr, Beats: req.Beats, Gen: now,
+		Addr: local, Beats: req.Beats, Gen: now,
 		APTag: req.EndOfRow || r.cfg.TagEveryRequest,
 	}
 	var pkts []*noc.Packet
@@ -598,6 +663,7 @@ func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request
 		core: base.SrcCore, beats: req.Beats,
 	}
 	r.met.Generated++
+	r.chSent[ch] += int64(len(pkts))
 	if r.genPerCore != nil && base.SrcCore >= 0 {
 		r.genPerCore[base.SrcCore]++
 	}
@@ -618,8 +684,41 @@ func indexOf(cores []*coreNI, c *coreNI) int {
 // Metrics exposes the accumulating measurements (examples, tests).
 func (r *Runner) Metrics() *stats.Metrics { return &r.met }
 
-// Device exposes the DRAM device (examples, tests).
-func (r *Runner) Device() *dram.Device { return r.dev }
+// Device exposes channel 0's DRAM device (examples, tests; the only
+// device single-channel).
+func (r *Runner) Device() *dram.Device { return r.devs[0] }
+
+// Devices exposes every channel's DRAM device, in channel order.
+func (r *Runner) Devices() []*dram.Device { return r.devs }
+
+// aggStats sums the device counters over every channel. Single-channel
+// it is exactly the one device's stats.
+func (r *Runner) aggStats() dram.Stats {
+	var st dram.Stats
+	for _, d := range r.devs {
+		s := d.Stats()
+		st.Activates += s.Activates
+		st.Reads += s.Reads
+		st.Writes += s.Writes
+		st.Precharges += s.Precharges
+		st.AutoPre += s.AutoPre
+		st.Refreshes += s.Refreshes
+		st.DataCycles += s.DataCycles
+		st.BurstsBL += s.BurstsBL
+		st.UsefulBeats += s.UsefulBeats
+	}
+	return st
+}
+
+// utilization returns the mean per-channel data-bus utilization (the
+// single device's utilization when single-channel).
+func (r *Runner) utilization(now int64) float64 {
+	var u float64
+	for _, d := range r.devs {
+		u += d.Utilization(now)
+	}
+	return u / float64(len(r.devs))
+}
 
 // Now returns the current cycle.
 func (r *Runner) Now() int64 { return r.kern.Now() }
@@ -632,14 +731,16 @@ func (r *Runner) Finish() Result {
 	// may have slept through the run's tail, leaving auto-precharges
 	// pending that the old every-cycle tick would have retired.
 	if now > 0 {
-		r.dev.Sync(now - 1)
+		for _, d := range r.devs {
+			d.Sync(now - 1)
+		}
 	}
-	st := r.dev.Stats()
+	st := r.aggStats()
 	r.met.Cycles = now
 	res := Result{
 		Design: cfg.Design, App: cfg.App.Name, Gen: cfg.Gen, ClockMHz: cfg.ClockMHz,
 		Cycles:      now,
-		Utilization: r.dev.Utilization(now),
+		Utilization: r.utilization(now),
 		LatAll:      r.met.All.Mean(),
 		LatDemand:   r.met.Demand.Mean(),
 		LatPriority: r.met.Priority.Mean(),
@@ -680,7 +781,7 @@ func (r *Runner) buildReport() *obs.Report {
 		Generated:   r.met.Generated,
 		Completed:   r.met.Completed,
 		Stalled:     r.met.Stalled,
-		Utilization: r.dev.Utilization(r.kern.Now()),
+		Utilization: r.utilization(r.kern.Now()),
 		Latency: obs.Latencies{
 			All:      r.met.All.Summarize(),
 			Demand:   r.met.Demand.Summarize(),
@@ -705,22 +806,83 @@ func (r *Runner) buildReport() *obs.Report {
 			SinkReadyHWM:  c.sink.ReadyHWM(),
 		})
 	}
-	rep.Memory.SinkReadyHWM = r.memSink.ReadyHWM()
-	for i, b := range r.dev.BankCounters() {
-		rep.Memory.Banks = append(rep.Memory.Banks, obs.BankStat{
-			Bank: i, Activates: b.Activates, Reads: b.Reads, Writes: b.Writes,
-			RowHits: b.RowHits, Precharges: b.Precharges, AutoPre: b.AutoPre,
-		})
+	r.buildMemoryReport(rep)
+	return rep
+}
+
+// buildMemoryReport fills the memory-subsystem section. The flat fields
+// aggregate across channels — byte-identical to the single-SDRAM schema
+// at Channels=1 — and multi-channel runs additionally carry the
+// per-channel detail plus the load-imbalance factor.
+func (r *Runner) buildMemoryReport(rep *obs.Report) {
+	now := r.kern.Now()
+	banks := make([]obs.BankStat, r.timing.Banks)
+	for i := range banks {
+		banks[i].Bank = i
 	}
-	if s, ok := r.ctrl.(*memctrl.Simple); ok {
-		rep.Memory.Stream = &obs.StreamQuality{
-			RowHits:     s.StreamStats.RowHits,
-			Interleaves: s.StreamStats.Interleaves,
-			Conflicts:   s.StreamStats.Conflicts,
-			Contentions: s.StreamStats.Contentions,
+	var stream *obs.StreamQuality
+	for ch := range r.devs {
+		if h := r.memSinks[ch].ReadyHWM(); h > rep.Memory.SinkReadyHWM {
+			rep.Memory.SinkReadyHWM = h
+		}
+		for i, b := range r.devs[ch].BankCounters() {
+			banks[i].Activates += b.Activates
+			banks[i].Reads += b.Reads
+			banks[i].Writes += b.Writes
+			banks[i].RowHits += b.RowHits
+			banks[i].Precharges += b.Precharges
+			banks[i].AutoPre += b.AutoPre
+		}
+		if s, ok := r.ctrls[ch].(*memctrl.Simple); ok {
+			if stream == nil {
+				stream = &obs.StreamQuality{}
+			}
+			stream.RowHits += s.StreamStats.RowHits
+			stream.Interleaves += s.StreamStats.Interleaves
+			stream.Conflicts += s.StreamStats.Conflicts
+			stream.Contentions += s.StreamStats.Contentions
 		}
 	}
-	return rep
+	rep.Memory.Banks = banks
+	rep.Memory.Stream = stream
+	if len(r.devs) == 1 {
+		return
+	}
+	var busiest, total int64
+	for ch := range r.devs {
+		cs := obs.ChannelStat{
+			Channel:      ch,
+			Port:         r.ports[ch].String(),
+			Utilization:  r.devs[ch].Utilization(now),
+			DataCycles:   r.devs[ch].Stats().DataCycles,
+			Splits:       r.chSent[ch],
+			Completions:  r.chDone[ch],
+			SinkReadyHWM: r.memSinks[ch].ReadyHWM(),
+		}
+		for i, b := range r.devs[ch].BankCounters() {
+			cs.Banks = append(cs.Banks, obs.BankStat{
+				Bank: i, Activates: b.Activates, Reads: b.Reads, Writes: b.Writes,
+				RowHits: b.RowHits, Precharges: b.Precharges, AutoPre: b.AutoPre,
+			})
+		}
+		if s, ok := r.ctrls[ch].(*memctrl.Simple); ok {
+			cs.Stream = &obs.StreamQuality{
+				RowHits:     s.StreamStats.RowHits,
+				Interleaves: s.StreamStats.Interleaves,
+				Conflicts:   s.StreamStats.Conflicts,
+				Contentions: s.StreamStats.Contentions,
+			}
+		}
+		if cs.DataCycles > busiest {
+			busiest = cs.DataCycles
+		}
+		total += cs.DataCycles
+		rep.Memory.Channels = append(rep.Memory.Channels, cs)
+	}
+	if total > 0 {
+		mean := float64(total) / float64(len(r.devs))
+		rep.Memory.Imbalance = float64(busiest) / mean
+	}
 }
 
 // meshStats flattens one mesh's connected output ports, in router-index
@@ -773,5 +935,32 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	r.RunTo(r.cfg.Cycles)
+	return r.Finish(), nil
+}
+
+// runEpoch is the cancellation granularity of RunContext: the kernel
+// advances in epochs of this many cycles, checking the context between
+// them. RunUntil chunking is observably idempotent, so epoch runs
+// produce bit-identical results to one uninterrupted RunTo.
+const runEpoch = 16384
+
+// RunContext executes a complete simulation, honouring cancellation
+// between kernel epochs. A cancelled run returns the context's error
+// and no result; an uncancelled run is identical to Run.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	r, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for r.Now() < r.cfg.Cycles {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		next := r.Now() + runEpoch
+		if next > r.cfg.Cycles {
+			next = r.cfg.Cycles
+		}
+		r.RunTo(next)
+	}
 	return r.Finish(), nil
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# apicheck.sh — fail when the exported aanoc API surface drifts from the
+# committed baseline, or when it changed without the README migration
+# notes being touched in the same change.
+#
+# Usage: scripts/apicheck.sh [base-ref]
+#
+# 1. Regenerates the API dump (scripts/apidump) and diffs it against
+#    api/aanoc.txt. A mismatch always fails: updating the baseline is
+#    the explicit act of changing the public API.
+# 2. When a base ref is given (CI passes the merge base), and the
+#    baseline changed relative to it, README.md must have changed too —
+#    the migration-notes rule.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=api/aanoc.txt
+current=$(mktemp)
+trap 'rm -f "$current"' EXIT
+
+go run ./scripts/apidump > "$current"
+
+if ! diff -u "$baseline" "$current"; then
+  echo >&2
+  echo "apicheck: exported aanoc API differs from $baseline." >&2
+  echo "apicheck: regenerate with 'go run ./scripts/apidump > $baseline'" >&2
+  echo "apicheck: and document the change in README.md (migration notes)." >&2
+  exit 1
+fi
+
+base_ref="${1:-}"
+if [ -n "$base_ref" ]; then
+  if ! git diff --quiet "$base_ref" -- "$baseline"; then
+    if git diff --quiet "$base_ref" -- README.md; then
+      echo "apicheck: $baseline changed since $base_ref but README.md did not." >&2
+      echo "apicheck: public API changes must update the README migration notes." >&2
+      exit 1
+    fi
+  fi
+fi
+
+echo "apicheck: exported API matches $baseline"

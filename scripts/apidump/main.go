@@ -1,0 +1,141 @@
+// Command apidump prints the exported surface of the aanoc facade
+// package as a stable, sorted text listing: every exported const, var,
+// func, type, method, and struct field, with its type spelled out.
+//
+//	go run ./scripts/apidump            # dump the root package
+//	go run ./scripts/apidump -dir .     # explicit directory
+//
+// CI diffs the dump against api/aanoc.txt (see scripts/apicheck.sh): a
+// facade change that does not update the committed baseline — and the
+// README migration notes with it — fails the build. The point is not to
+// forbid API evolution but to make it a reviewed, documented event.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "package directory to dump")
+	flag.Parse()
+
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, *dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		fatal(err)
+	}
+
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, dumpDecl(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+}
+
+// dumpDecl renders one top-level declaration's exported parts.
+func dumpDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		recv := ""
+		if d.Recv != nil && len(d.Recv.List) > 0 {
+			t := exprString(fset, d.Recv.List[0].Type)
+			// Methods on unexported receivers are unreachable API.
+			if !ast.IsExported(strings.TrimPrefix(t, "*")) {
+				return nil
+			}
+			recv = "(" + t + ") "
+		}
+		out = append(out, fmt.Sprintf("func %s%s%s", recv, d.Name.Name, signature(fset, d.Type)))
+	case *ast.GenDecl:
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, n := range s.Names {
+					if n.IsExported() {
+						out = append(out, fmt.Sprintf("%s %s", kind, n.Name))
+					}
+				}
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				switch t := s.Type.(type) {
+				case *ast.StructType:
+					out = append(out, fmt.Sprintf("type %s struct", s.Name.Name))
+					for _, f := range t.Fields.List {
+						ft := exprString(fset, f.Type)
+						if len(f.Names) == 0 {
+							out = append(out, fmt.Sprintf("field %s.%s (embedded)", s.Name.Name, ft))
+							continue
+						}
+						for _, n := range f.Names {
+							if n.IsExported() {
+								out = append(out, fmt.Sprintf("field %s.%s %s", s.Name.Name, n.Name, ft))
+							}
+						}
+					}
+				case *ast.InterfaceType:
+					out = append(out, fmt.Sprintf("type %s interface", s.Name.Name))
+					for _, m := range t.Methods.List {
+						for _, n := range m.Names {
+							if n.IsExported() {
+								out = append(out, fmt.Sprintf("method %s.%s%s", s.Name.Name, n.Name, exprString(fset, m.Type)))
+							}
+						}
+					}
+				default:
+					if s.Assign.IsValid() {
+						out = append(out, fmt.Sprintf("type %s = %s", s.Name.Name, exprString(fset, s.Type)))
+					} else {
+						out = append(out, fmt.Sprintf("type %s %s", s.Name.Name, exprString(fset, s.Type)))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// signature renders a function type ("(a int) (b, error)").
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	s := exprString(fset, ft)
+	return strings.TrimPrefix(s, "func")
+}
+
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		fatal(err)
+	}
+	return b.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apidump:", err)
+	os.Exit(1)
+}
