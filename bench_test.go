@@ -368,6 +368,45 @@ func BenchmarkTableLowUtil(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPath is the CI perf gate's measurement pair: the two most
+// saturated Table I points, reported as cycles/s so the committed
+// BENCH_hotpath.json baseline and scripts/perf_gate.sh can hold the
+// flattened hot path (SoA router state, packet/flit pooling, the
+// event-queue controller) to its throughput. Unlike the low-util
+// benchmarks, these runs have work on nearly every cycle, so idle-skip
+// cannot hide a regression on the per-flit path.
+func BenchmarkHotPath(b *testing.B) {
+	cases := []struct {
+		name string
+		cfg  system.Config
+	}{
+		// The slowest Table I point: the dual-DTV app saturates the mesh
+		// and keeps the GSS allocators' candidate sets full.
+		{"ddtv/DDR3/GSS+SAGM", system.Config{
+			App: appmodel.DualDTV(), Gen: dram.DDR3, Design: system.GSSSAGM,
+		}},
+		// The conventional design on the same workload: exercises the
+		// MemMax controller path instead of Simple+GSS.
+		{"ddtv/DDR3/CONV", system.Config{
+			App: appmodel.DualDTV(), Gen: dram.DDR3, Design: system.Conv,
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			c.cfg.Cycles = benchCycles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.cfg.Seed = uint64(i + 1)
+				if _, err := system.Run(c.cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(benchCycles*int64(b.N))/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (cycles per
 // second) on the largest configuration — a capacity check, not a paper
 // figure.

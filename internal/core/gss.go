@@ -68,7 +68,13 @@ func (c Config) Validate() error {
 }
 
 // entry is the per-resident-packet token state (t_i in Algorithm 1).
+// Entries live in a small ordered slice rather than a map: resident
+// counts are bounded by the router's input buffering (a handful), so a
+// linear scan beats hashing on the per-cycle path, removal keeps the
+// arrival order, and the slice's backing array is recycled — no
+// steady-state allocation.
 type entry struct {
+	pkt       *noc.Packet
 	tokens    int
 	seq       int64 // arrival order, used as the FIFO tiebreak
 	arrivedAt int64
@@ -80,14 +86,24 @@ type GSS struct {
 	cfg     Config
 	nextSeq int64
 
-	entries map[*noc.Packet]*entry
-	last    *noc.Packet // copy of h(n), the most recently granted packet
+	entries []entry
+	// last is a value copy of h(n), the most recently granted packet —
+	// a copy because the original may be recycled through the system's
+	// packet pool after it completes.
+	last    noc.Packet
+	hasLast bool
 
 	lastArrivalParent int64
 
 	// bankIdleAt[b] is the absolute cycle bank b is estimated to accept a
 	// new activation; armed when a scheduled packet carries an AP tag.
 	bankIdleAt []int64
+
+	// excluded/eidx are reusable scratch for Select (grown on demand —
+	// routers pass at most one candidate per input port, but direct
+	// callers may pass more).
+	excluded []bool
+	eidx     []int
 
 	// Scheduled counts grants, used by the activity-based power model.
 	Scheduled int64
@@ -100,9 +116,18 @@ func New(cfg Config) (*GSS, error) {
 	}
 	return &GSS{
 		cfg:        cfg,
-		entries:    make(map[*noc.Packet]*entry),
 		bankIdleAt: make([]int64, cfg.Banks),
 	}, nil
+}
+
+// find returns the index of a resident packet's entry, or -1.
+func (g *GSS) find(p *noc.Packet) int {
+	for i := range g.entries {
+		if g.entries[i].pkt == p {
+			return i
+		}
+	}
+	return -1
 }
 
 // MustNew is New but panics on invalid configuration.
@@ -120,8 +145,8 @@ func (g *GSS) Config() Config { return g.cfg }
 // Tokens reports the current token count of a resident packet (0 if the
 // packet is unknown); exported for tests and introspection.
 func (g *GSS) Tokens(p *noc.Packet) int {
-	if e, ok := g.entries[p]; ok {
-		return e.tokens
+	if i := g.find(p); i >= 0 {
+		return g.entries[i].tokens
 	}
 	return 0
 }
@@ -137,9 +162,9 @@ func (g *GSS) Tokens(p *noc.Packet) int {
 // precisely in the SAGM configurations.
 func (g *GSS) OnPacketArrival(p *noc.Packet, now int64) {
 	if p.ParentID != g.lastArrivalParent {
-		for _, e := range g.entries {
-			if e.arrivedAt < now {
-				e.tokens++
+		for i := range g.entries {
+			if g.entries[i].arrivedAt < now {
+				g.entries[i].tokens++
 			}
 		}
 	}
@@ -149,7 +174,7 @@ func (g *GSS) OnPacketArrival(p *noc.Packet, now int64) {
 		tok = g.cfg.PCT
 	}
 	g.nextSeq++
-	g.entries[p] = &entry{tokens: tok, seq: g.nextSeq, arrivedAt: now}
+	g.entries = append(g.entries, entry{pkt: p, tokens: tok, seq: g.nextSeq, arrivedAt: now})
 }
 
 // conds are the Fig. 4 conditions of one candidate against h(n).
@@ -165,12 +190,12 @@ func (g *GSS) condsFor(p *noc.Packet, now int64) conds {
 	if g.cfg.STI.Enabled && g.bankIdleAt[p.Addr.Bank%g.cfg.Banks] > now {
 		c.shortTurn = true
 	}
-	if g.last == nil {
+	if !g.hasLast {
 		return c
 	}
-	c.bankConflict = noc.BankConflict(g.last, p)
-	c.dataContention = noc.DataContention(g.last, p)
-	c.sibling = g.last.ParentID == p.ParentID && noc.RowHit(g.last, p) && !c.dataContention
+	c.bankConflict = noc.BankConflict(&g.last, p)
+	c.dataContention = noc.DataContention(&g.last, p)
+	c.sibling = g.last.ParentID == p.ParentID && noc.RowHit(&g.last, p) && !c.dataContention
 	return c
 }
 
@@ -243,18 +268,28 @@ func (g *GSS) Select(cands []noc.Candidate, now int64) int {
 	if len(cands) == 0 {
 		return -1
 	}
+	if cap(g.excluded) < len(cands) {
+		g.excluded = make([]bool, len(cands))
+		g.eidx = make([]int, len(cands))
+	}
 	// Robustness: adopt candidates the allocator was not told about
-	// (e.g. after reconfiguration).
-	for _, c := range cands {
-		if _, ok := g.entries[c.Pkt]; !ok {
+	// (e.g. after reconfiguration). eidx caches each candidate's entry
+	// index so the inner loops avoid repeated scans.
+	eidx := g.eidx[:len(cands)]
+	for i, c := range cands {
+		j := g.find(c.Pkt)
+		if j < 0 {
 			g.OnPacketArrival(c.Pkt, now)
+			j = len(g.entries) - 1
 		}
+		eidx[i] = j
 	}
 	// Line 5: exclude best-effort candidates targeting the same bank as a
 	// competing priority candidate.
-	excluded := make([]bool, len(cands))
+	excluded := g.excluded[:len(cands)]
 	anyIncluded := false
 	for i, c := range cands {
+		excluded[i] = false
 		if !c.Pkt.Priority {
 			for _, pc := range cands {
 				if pc.Pkt.Priority && pc.Pkt.Addr.Bank == c.Pkt.Addr.Bank {
@@ -277,16 +312,16 @@ func (g *GSS) Select(cands []noc.Candidate, now int64) int {
 			if excluded[i] {
 				continue
 			}
-			e := g.entries[c.Pkt]
+			e := &g.entries[eidx[i]]
 			t := e.tokens + extra
 			if t > maxTok {
 				t = maxTok
 			}
 			cc := g.condsFor(c.Pkt, now)
 			if passesFilter(g.cfg.STI.Enabled, t, cc) {
-				best = g.betterOf(cands, best, i)
+				best = g.betterOf(cands, eidx, best, i)
 			}
-			if cc.sibling && (bestT0 < 0 || g.entries[c.Pkt].seq < g.entries[cands[bestT0].Pkt].seq) {
+			if cc.sibling && (bestT0 < 0 || e.seq < g.entries[eidx[bestT0]].seq) {
 				bestT0 = i
 			}
 		}
@@ -305,11 +340,11 @@ func (g *GSS) Select(cands []noc.Candidate, now int64) int {
 // betterOf ranks two passing candidates: more tokens first, then priority,
 // then earlier arrival. Raw token counts order identically to the
 // extra-aged counts because the aging increment is common to both.
-func (g *GSS) betterOf(cands []noc.Candidate, cur, alt int) int {
+func (g *GSS) betterOf(cands []noc.Candidate, eidx []int, cur, alt int) int {
 	if cur < 0 {
 		return alt
 	}
-	ce, ae := g.entries[cands[cur].Pkt], g.entries[cands[alt].Pkt]
+	ce, ae := &g.entries[eidx[cur]], &g.entries[eidx[alt]]
 	if ae.tokens > ce.tokens {
 		return alt
 	}
@@ -340,12 +375,13 @@ func (g *GSS) AuditTokens(report func(kind, format string, args ...any)) {
 	if g.cfg.PCT < 1 || g.cfg.PCT > g.cfg.MaxTokens() {
 		report("pct-bound", "PCT %d outside [1,%d]", g.cfg.PCT, g.cfg.MaxTokens())
 	}
-	for p, e := range g.entries {
+	for i := range g.entries {
+		e := &g.entries[i]
 		if e.tokens < 1 {
-			report("token-bound", "resident packet %d holds %d tokens", p.ID, e.tokens)
+			report("token-bound", "resident packet %d holds %d tokens", e.pkt.ID, e.tokens)
 		}
 		if e.seq <= 0 || e.seq > g.nextSeq {
-			report("token-bound", "resident packet %d carries sequence %d outside (0,%d]", p.ID, e.seq, g.nextSeq)
+			report("token-bound", "resident packet %d carries sequence %d outside (0,%d]", e.pkt.ID, e.seq, g.nextSeq)
 		}
 	}
 }
@@ -357,9 +393,15 @@ func (g *GSS) AuditTokens(report func(kind, format string, args ...any)) {
 // for reads).
 func (g *GSS) OnScheduled(p *noc.Packet, now int64) {
 	g.Scheduled++
-	delete(g.entries, p)
-	cp := *p
-	g.last = &cp
+	if i := g.find(p); i >= 0 {
+		// Copy-shift removal keeps arrival order and recycles the
+		// backing array.
+		copy(g.entries[i:], g.entries[i+1:])
+		g.entries[len(g.entries)-1] = entry{}
+		g.entries = g.entries[:len(g.entries)-1]
+	}
+	g.last = *p
+	g.hasLast = true
 	if g.cfg.STI.Enabled && p.APTag {
 		transfer := int64(noc.FlitsForBeats(p.Beats))
 		idle := g.cfg.STI.ReadIdle

@@ -19,6 +19,11 @@ import (
 type Splitter struct {
 	// GranularityBeats is the maximum payload of one split packet.
 	GranularityBeats int
+	// Alloc, when set, supplies the packet structs for write splits —
+	// the system passes its recycling pool here so a saturated run's
+	// steady state allocates no packets. Every field of the returned
+	// packet is overwritten. nil falls back to plain allocation.
+	Alloc func() *noc.Packet
 }
 
 // SplitGranularity returns the paper's split granularity in data beats
@@ -67,7 +72,8 @@ func (s Splitter) Split(p *noc.Packet, newID func() int64) ([]*noc.Packet, error
 		if beats > remaining {
 			beats = remaining
 		}
-		sp := *p // copy shared fields
+		sp := s.allocPkt()
+		*sp = *p // copy shared fields
 		sp.ID = newID()
 		sp.ParentID = p.ID
 		sp.Beats = beats
@@ -75,11 +81,19 @@ func (s Splitter) Split(p *noc.Packet, newID func() int64) ([]*noc.Packet, error
 		sp.Splits = n
 		sp.APTag = p.APTag && i == n-1
 		sp.Flits = noc.FlitsForBeats(beats)
-		out = append(out, &sp)
+		out = append(out, sp)
 		remaining -= beats
 		col += beats
 	}
 	return out, nil
+}
+
+// allocPkt draws from the configured pool, or the heap without one.
+func (s Splitter) allocPkt() *noc.Packet {
+	if s.Alloc != nil {
+		return s.Alloc()
+	}
+	return new(noc.Packet)
 }
 
 // NoSplit wraps an unsplit request for designs without SAGM: the packet

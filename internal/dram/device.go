@@ -146,7 +146,15 @@ func (d *Device) Utilization(totalCycles int64) float64 {
 
 // advance retires auto-precharges whose start time has been reached and
 // settles completed precharges, bringing the device state up to now.
+// Repeated calls within one cycle are no-ops: commands issued at now only
+// schedule state changes strictly after now (tRP, tRFC and auto-precharge
+// start times are all positive offsets), so the first call per cycle does
+// all the settling and the hot paths that re-query state (OpenRow,
+// CanIssue) skip the per-bank walk.
 func (d *Device) advance(now int64) {
+	if now == d.now {
+		return
+	}
 	if now < d.now {
 		panic(fmt.Sprintf("dram: time went backwards (%d < %d)", now, d.now))
 	}
@@ -223,6 +231,77 @@ func (d *Device) BankReadyAt(bankIdx int, now int64) int64 {
 	return ready
 }
 
+// AutoPrechargePending reports whether the bank has an auto-precharge
+// scheduled but not yet fired at cycle now.
+func (d *Device) AutoPrechargePending(bankIdx int, now int64) bool {
+	d.advance(now)
+	return d.banks[bankIdx].apPending
+}
+
+// ActivateReadyAt returns a conservative lower bound on the earliest
+// cycle an ACTIVATE to the bank could be legal, folding the same-bank
+// constraints of BankReadyAt together with the cross-bank tRRD and tFAW
+// windows. "Conservative" means never later than the true earliest legal
+// cycle: event-queue controllers may wake at the returned cycle and find
+// the command still refused (a harmless no-op probe), but never sleep
+// through a cycle where it would have been accepted.
+func (d *Device) ActivateReadyAt(bankIdx int, now int64) int64 {
+	ready := d.BankReadyAt(bankIdx, now)
+	if r := d.lastActAny + d.t.TRRD; r > ready {
+		ready = r
+	}
+	if d.t.TFAW > 0 && d.fault != FaultSkipTFAW {
+		if r := d.actTimes[0] + d.t.TFAW; r > ready {
+			ready = r
+		}
+	}
+	return ready
+}
+
+// ColumnReadyAt returns a conservative lower bound on the earliest cycle
+// a READ or WRITE to the bank could be legal, assuming the bank is (or
+// will be) active with the wanted row open. Same contract as
+// ActivateReadyAt: never later than the true earliest legal cycle.
+func (d *Device) ColumnReadyAt(bankIdx int, kind CmdKind, now int64) int64 {
+	d.advance(now)
+	b := &d.banks[bankIdx]
+	ready := now
+	if d.fault != FaultSkipTRCD && b.casAllowedAt > ready {
+		ready = b.casAllowedAt
+	}
+	if r := d.lastCAS + d.t.TCCD; r > ready {
+		ready = r
+	}
+	if kind == CmdRead {
+		if r := d.writeDataEnd + d.t.TWTR; r > ready {
+			ready = r
+		}
+		if r := d.busBusyUntil - d.t.CL; r > ready {
+			ready = r
+		}
+	} else {
+		if r := d.busBusyUntil - d.t.CWL; r > ready {
+			ready = r
+		}
+		if r := d.readDataEnd + d.t.TRTW - d.t.CWL; r > ready {
+			ready = r
+		}
+	}
+	return ready
+}
+
+// PrechargeReadyAt returns a conservative lower bound on the earliest
+// cycle an explicit PRECHARGE to the bank could be legal (tRAS/tWR/tRTP
+// floors). Same contract as ActivateReadyAt.
+func (d *Device) PrechargeReadyAt(bankIdx int, now int64) int64 {
+	d.advance(now)
+	b := &d.banks[bankIdx]
+	if b.preAllowedAt > now {
+		return b.preAllowedAt
+	}
+	return now
+}
+
 // checkBL validates the burst length of a column command against the
 // device mode.
 func (d *Device) checkBL(bl int) error {
@@ -241,32 +320,58 @@ func (d *Device) checkBL(bl int) error {
 // refuse is a sentinel-style helper building legality errors.
 func refuse(format string, args ...any) error { return fmt.Errorf("dram: "+format, args...) }
 
+// errRefused is the allocation-free sentinel the CanIssue fast path
+// returns: controllers probe legality millions of times per run and only
+// care about the boolean, so the descriptive fmt.Errorf message is built
+// exclusively on the (cold) Issue failure path via explain.
+var errRefused = fmt.Errorf("dram: command refused")
+
 // checkIssue reports why cmd cannot be issued at now, or nil if it can.
-// It does not mutate timing state beyond advancing auto-precharges.
-func (d *Device) checkIssue(cmd Command, now int64) error {
+// It does not mutate timing state beyond advancing auto-precharges. With
+// explain false, every refusal returns the shared errRefused sentinel
+// instead of formatting a message — the hot path allocates nothing.
+func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 	d.advance(now)
 	if now == d.lastCmdCycle {
+		if !explain {
+			return errRefused
+		}
 		return refuse("command bus busy at cycle %d", now)
 	}
 	if cmd.Bank < 0 || (cmd.Kind != CmdRefresh && cmd.Bank >= d.t.Banks) {
+		if !explain {
+			return errRefused
+		}
 		return refuse("bank %d out of range", cmd.Bank)
 	}
 	switch cmd.Kind {
 	case CmdActivate:
 		b := &d.banks[cmd.Bank]
-		if b.state != BankIdle {
+		switch {
+		case b.state != BankIdle:
+			if !explain {
+				return errRefused
+			}
 			return refuse("ACT to %s bank %d", b.state, cmd.Bank)
-		}
-		if now < b.readyAt {
+		case now < b.readyAt:
+			if !explain {
+				return errRefused
+			}
 			return refuse("ACT before precharge/refresh completion of bank %d (ready at %d)", cmd.Bank, b.readyAt)
-		}
-		if now < b.actTime+d.t.TRC {
+		case now < b.actTime+d.t.TRC:
+			if !explain {
+				return errRefused
+			}
 			return refuse("ACT violates tRC on bank %d", cmd.Bank)
-		}
-		if now < d.lastActAny+d.t.TRRD {
+		case now < d.lastActAny+d.t.TRRD:
+			if !explain {
+				return errRefused
+			}
 			return refuse("ACT violates tRRD")
-		}
-		if d.t.TFAW > 0 && now < d.actTimes[0]+d.t.TFAW && d.fault != FaultSkipTFAW {
+		case d.t.TFAW > 0 && now < d.actTimes[0]+d.t.TFAW && d.fault != FaultSkipTFAW:
+			if !explain {
+				return errRefused
+			}
 			return refuse("ACT violates tFAW (four-activate window)")
 		}
 	case CmdRead, CmdWrite:
@@ -274,56 +379,95 @@ func (d *Device) checkIssue(cmd Command, now int64) error {
 			return err
 		}
 		b := &d.banks[cmd.Bank]
-		if b.state != BankActive {
+		switch {
+		case b.state != BankActive:
+			if !explain {
+				return errRefused
+			}
 			return refuse("%s to %s bank %d", cmd.Kind, b.state, cmd.Bank)
-		}
-		if b.apPending {
+		case b.apPending:
+			if !explain {
+				return errRefused
+			}
 			return refuse("%s to bank %d with pending auto-precharge", cmd.Kind, cmd.Bank)
-		}
-		if now < b.casAllowedAt && d.fault != FaultSkipTRCD {
+		case now < b.casAllowedAt && d.fault != FaultSkipTRCD:
+			if !explain {
+				return errRefused
+			}
 			return refuse("%s violates tRCD on bank %d", cmd.Kind, cmd.Bank)
-		}
-		if now < d.lastCAS+d.t.TCCD {
+		case now < d.lastCAS+d.t.TCCD:
+			if !explain {
+				return errRefused
+			}
 			return refuse("%s violates tCCD", cmd.Kind)
 		}
 		if cmd.Kind == CmdRead {
-			if now < d.writeDataEnd+d.t.TWTR {
+			switch {
+			case now < d.writeDataEnd+d.t.TWTR:
+				if !explain {
+					return errRefused
+				}
 				return refuse("RD violates tWTR")
-			}
-			if now+d.t.CL < d.busBusyUntil {
+			case now+d.t.CL < d.busBusyUntil:
+				if !explain {
+					return errRefused
+				}
 				return refuse("RD data would collide on the bus")
 			}
 		} else {
 			start := now + d.t.CWL
-			if start < d.busBusyUntil {
+			switch {
+			case start < d.busBusyUntil:
+				if !explain {
+					return errRefused
+				}
 				return refuse("WR data would collide on the bus")
-			}
-			if start < d.readDataEnd+d.t.TRTW {
+			case start < d.readDataEnd+d.t.TRTW:
+				if !explain {
+					return errRefused
+				}
 				return refuse("WR violates read-to-write turnaround")
 			}
 		}
 	case CmdPrecharge:
 		b := &d.banks[cmd.Bank]
-		if b.state != BankActive {
+		switch {
+		case b.state != BankActive:
+			if !explain {
+				return errRefused
+			}
 			return refuse("PRE to %s bank %d", b.state, cmd.Bank)
-		}
-		if b.apPending {
+		case b.apPending:
+			if !explain {
+				return errRefused
+			}
 			return refuse("PRE to bank %d with pending auto-precharge", cmd.Bank)
-		}
-		if now < b.preAllowedAt {
+		case now < b.preAllowedAt:
+			if !explain {
+				return errRefused
+			}
 			return refuse("PRE violates tRAS/tWR/tRTP on bank %d (allowed at %d)", cmd.Bank, b.preAllowedAt)
 		}
 	case CmdRefresh:
 		for i := range d.banks {
 			b := &d.banks[i]
 			if b.state != BankIdle || now < b.readyAt {
+				if !explain {
+					return errRefused
+				}
 				return refuse("REF with bank %d not idle", i)
 			}
 			if b.apPending {
+				if !explain {
+					return errRefused
+				}
 				return refuse("REF with pending auto-precharge on bank %d", i)
 			}
 		}
 	default:
+		if !explain {
+			return errRefused
+		}
 		return refuse("unknown command kind %d", cmd.Kind)
 	}
 	return nil
@@ -331,7 +475,7 @@ func (d *Device) checkIssue(cmd Command, now int64) error {
 
 // CanIssue reports whether cmd is legal at cycle now.
 func (d *Device) CanIssue(cmd Command, now int64) bool {
-	return d.checkIssue(cmd, now) == nil
+	return d.checkIssue(cmd, now, false) == nil
 }
 
 // Issue presents cmd on the command bus at cycle now. For column commands
@@ -340,8 +484,9 @@ func (d *Device) CanIssue(cmd Command, now int64) bool {
 // changes no state) if the command violates any timing constraint — the
 // device doubles as a protocol checker for the whole stack's tests.
 func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
-	if err := d.checkIssue(cmd, now); err != nil {
-		return DataWindow{}, err
+	if d.checkIssue(cmd, now, false) != nil {
+		// Cold path: re-run with explain to build the descriptive error.
+		return DataWindow{}, d.checkIssue(cmd, now, true)
 	}
 	d.lastCmdCycle = now
 	defer func() {

@@ -80,6 +80,7 @@ type reqState struct {
 // bank interleaving (and Databahn-style look-ahead for MemMax).
 type engine struct {
 	dev    *dram.Device
+	t      dram.Timing // cached dev.Timing(): immutable after construction
 	policy PagePolicy
 	depth  int // command-pipeline window (paper: few small buffers)
 	// ooo allows column commands to issue out of order within the window
@@ -98,6 +99,10 @@ type engine struct {
 
 	onDone func(Completion)
 
+	// free recycles reqState records: one is leased per admitted request
+	// and returned at retirement, so the steady state allocates none.
+	free []*reqState
+
 	// CmdCycles counts cycles a command was driven (power model).
 	CmdCycles int64
 }
@@ -106,12 +111,32 @@ func newEngine(dev *dram.Device, policy PagePolicy, depth int, onDone func(Compl
 	t := dev.Timing()
 	return &engine{
 		dev:          dev,
+		t:            t,
 		policy:       policy,
 		depth:        depth,
 		refreshEvery: t.TREFI,
 		nextRefresh:  t.TREFI,
 		onDone:       onDone,
 	}
+}
+
+// leaseReq takes a reqState from the free-list, allocating on cold start.
+func (e *engine) leaseReq(p *noc.Packet) *reqState {
+	if n := len(e.free); n > 0 {
+		r := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		r.pkt = p
+		return r
+	}
+	return &reqState{pkt: p}
+}
+
+// releaseReq returns a retired reqState to the free-list, zeroed so the
+// pool cannot leak a stale packet pointer.
+func (e *engine) releaseReq(r *reqState) {
+	*r = reqState{}
+	e.free = append(e.free, r)
 }
 
 // canAdmit reports whether the pipeline window has room.
@@ -122,7 +147,7 @@ func (e *engine) admit(p *noc.Packet) {
 	if !e.canAdmit() {
 		panic("memctrl: admit past window depth")
 	}
-	e.inflight = append(e.inflight, &reqState{pkt: p})
+	e.inflight = append(e.inflight, e.leaseReq(p))
 }
 
 // pendingFor reports how many inflight (not yet fully CAS'd) requests
@@ -174,6 +199,7 @@ func (e *engine) tick(now int64) {
 		if now >= r.lastEnd {
 			e.draining = append(e.draining[:i], e.draining[i+1:]...)
 			e.onDone(Completion{Pkt: r.pkt, At: r.lastEnd})
+			e.releaseReq(r)
 			continue
 		}
 		i++
@@ -215,8 +241,7 @@ func (e *engine) maybeRefresh(now int64) bool {
 		return true
 	}
 	// Precharge any open bank, one per cycle.
-	t := e.dev.Timing()
-	for b := 0; b < t.Banks; b++ {
+	for b := 0; b < e.t.Banks; b++ {
 		if _, open := e.dev.OpenRow(b, now); open {
 			cmd := dram.Command{Kind: dram.CmdPrecharge, Bank: b}
 			if e.dev.CanIssue(cmd, now) {
@@ -285,13 +310,12 @@ func (e *engine) olderSameBank(i int) bool {
 // issueCASFor issues the next column command of inflight[i] if its row is
 // open and the command is legal, retiring the request on its last burst.
 func (e *engine) issueCASFor(r *reqState, i int, now int64) bool {
-	t := e.dev.Timing()
 	row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now)
 	if !open || row != r.pkt.Addr.Row {
 		return false
 	}
 	remaining := r.pkt.Beats - r.beatsDone
-	bl := blFor(t, remaining)
+	bl := blFor(e.t, remaining)
 	last := remaining <= bl
 	kind := dram.CmdRead
 	if r.pkt.Kind == noc.Write {
@@ -391,18 +415,37 @@ func (e *engine) mustIssue(cmd dram.Command, now int64) {
 func (e *engine) busy() bool { return len(e.inflight) > 0 || len(e.draining) > 0 }
 
 // nextEvent returns the next cycle tick can possibly act, judged from
-// the pipeline's own state: every cycle while commands may issue
-// (inflight work or a refresh draining the pipeline), the earliest
-// data-window end while only drains remain (retirement fires the
-// completion callback at exactly that cycle), and otherwise the next
-// scheduled refresh. An idle, refresh-free engine sleeps until the next
-// admission wakes it. Sleeping is safe because an idle tick is a pure
-// no-op: Device.Sync settles lazily and tolerates jumps.
+// the pipeline's own state — a true event queue, not a per-cycle poll:
+//
+//   - while a refresh drains the pipeline, every cycle (the drain issues
+//     at most one command per cycle, state changes each tick);
+//   - for each inflight request, a conservative lower bound on the
+//     earliest cycle its next command (CAS on an open matching row, PRE
+//     on a conflicting row, ACT otherwise) could be legal, from the
+//     device's *ReadyAt hints;
+//   - the earliest data-window end among draining requests (retirement
+//     fires the completion callback at exactly that cycle);
+//   - the next scheduled refresh deadline.
+//
+// The per-request bounds are sound because, while the engine sleeps, no
+// command is issued, so the device state a bound was computed from can
+// only change by an auto-precharge firing — and a bank with a pending
+// auto-precharge is bounded through ActivateReadyAt, which accounts for
+// it. Bounds may be early (the request might still be blocked by an
+// order hazard or lose the single command slot), never late: waking
+// early is a harmless no-op tick, identical byte-for-byte to the
+// always-ticking schedule. An idle, refresh-free engine sleeps until
+// the next admission wakes it.
 func (e *engine) nextEvent(now int64) int64 {
-	if e.refreshing || len(e.inflight) > 0 {
+	if e.refreshing {
 		return now + 1
 	}
 	next := int64(1<<63 - 1)
+	for _, r := range e.inflight {
+		if at := e.reqReadyAt(r, now); at < next {
+			next = at
+		}
+	}
 	for _, r := range e.draining {
 		if r.lastEnd < next {
 			next = r.lastEnd
@@ -415,6 +458,29 @@ func (e *engine) nextEvent(now int64) int64 {
 		return now + 1
 	}
 	return next
+}
+
+// reqReadyAt bounds the earliest cycle an inflight request's next
+// command could issue, from the device's conservative timing hints.
+func (e *engine) reqReadyAt(r *reqState, now int64) int64 {
+	bank := r.pkt.Addr.Bank
+	row, open := e.dev.OpenRow(bank, now)
+	switch {
+	case open && e.dev.AutoPrechargePending(bank, now):
+		// The row will close on its own; the next step is a re-activate.
+		return e.dev.ActivateReadyAt(bank, now)
+	case open && row == r.pkt.Addr.Row:
+		kind := dram.CmdRead
+		if r.pkt.Kind == noc.Write {
+			kind = dram.CmdWrite
+		}
+		return e.dev.ColumnReadyAt(bank, kind, now)
+	case open:
+		// Conflicting row: precharge first.
+		return e.dev.PrechargeReadyAt(bank, now)
+	default:
+		return e.dev.ActivateReadyAt(bank, now)
+	}
 }
 
 // admitBlocked reports that a refresh is pending and admission should

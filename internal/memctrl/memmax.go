@@ -42,7 +42,11 @@ type MemMax struct {
 	queues [][]*noc.Packet
 	served []int64 // beats admitted per thread (bandwidth QoS accounting)
 	rotate int
-	last   *noc.Packet // most recently admitted into the pipeline
+	// last is a value copy of the packet most recently admitted into the
+	// pipeline (see Simple.last: the original may be recycled through
+	// the system's packet pool once it completes).
+	last    noc.Packet
+	hasLast bool
 }
 
 // NewMemMax builds the conventional subsystem over a device.
@@ -126,7 +130,8 @@ func (m *MemMax) Tick(now int64) {
 		m.queues[th] = m.queues[th][1:]
 		m.eng.admit(p)
 		m.served[th] += int64(p.Beats)
-		m.last = p
+		m.last = *p
+		m.hasLast = true
 		m.rotate = (th + 1) % m.cfg.Threads
 	}
 	m.eng.tick(now)
@@ -185,19 +190,19 @@ func (m *MemMax) pickThread(now int64) int {
 // previous request > bank interleave > same-bank-new-row (conflict), with
 // a penalty for turning the data bus around.
 func (m *MemMax) score(p *noc.Packet, now int64) int {
-	if m.last == nil {
+	if !m.hasLast {
 		return 0
 	}
 	s := 0
 	switch {
-	case noc.RowHit(m.last, p):
+	case noc.RowHit(&m.last, p):
 		s = 6
-	case noc.BankInterleave(m.last, p):
+	case noc.BankInterleave(&m.last, p):
 		s = 4
 	default:
 		s = 0 // bank conflict
 	}
-	if noc.DataContention(m.last, p) {
+	if noc.DataContention(&m.last, p) {
 		s -= 3
 	}
 	return s

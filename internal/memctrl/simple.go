@@ -30,8 +30,13 @@ type Controller interface {
 // PRE/RAS/CAS command pipeline, served in arrival order, with the page
 // policy (open for [4]/GSS, partially-open + AP for SAGM).
 type Simple struct {
-	eng  *engine
-	last *noc.Packet
+	eng *engine
+	// last is a value copy of the most recently admitted packet: the
+	// original may be recycled through the system's packet pool after it
+	// completes, so holding a pointer past admission would read a
+	// reused packet.
+	last    noc.Packet
+	hasLast bool
 
 	// StreamStats classifies each adjacent pair of admitted requests by
 	// the paper's SDRAM conditions — a direct measure of how
@@ -62,20 +67,21 @@ func (s *Simple) Offer(p *noc.Packet, now int64) bool {
 	if s.eng.admitBlocked() || !s.eng.canAdmit() {
 		return false
 	}
-	if s.last != nil {
+	if s.hasLast {
 		switch {
-		case noc.RowHit(s.last, p):
+		case noc.RowHit(&s.last, p):
 			s.StreamStats.RowHits++
-		case noc.BankConflict(s.last, p):
+		case noc.BankConflict(&s.last, p):
 			s.StreamStats.Conflicts++
 		default:
 			s.StreamStats.Interleaves++
 		}
-		if noc.DataContention(s.last, p) {
+		if noc.DataContention(&s.last, p) {
 			s.StreamStats.Contentions++
 		}
 	}
-	s.last = p
+	s.last = *p
+	s.hasLast = true
 	s.eng.admit(p)
 	return true
 }

@@ -25,17 +25,20 @@ func (m *Mesh) Audit(report func(kind, format string, args ...any)) {
 		m.auditLink(i, l, report)
 	}
 	for _, r := range m.Routers {
-		for port, in := range r.In {
-			for vc, b := range in.bufs {
-				auditBuffer(b, report, "router %v in %s vc %d", r.Pos, PortName(port), vc)
+		for port := range r.In {
+			in := &r.In[port]
+			for vc := range in.bufs {
+				auditBuffer(&in.bufs[vc], report, "router %v in %s vc %d", r.Pos, PortName(port), vc)
 			}
 		}
-		for port, o := range r.Out {
+		for port := range r.Out {
+			o := &r.Out[port]
 			if o.link == nil {
 				continue
 			}
-			for vc, a := range o.active {
-				if a == nil {
+			for vc := range o.active {
+				a := &o.active[vc]
+				if a.pp == nil {
 					continue
 				}
 				if a.buf.head() != a.pp {
@@ -51,19 +54,19 @@ func (m *Mesh) Audit(report func(kind, format string, args ...any)) {
 	}
 	var resident int64
 	for _, r := range m.Routers {
-		for _, in := range r.In {
-			resident += int64(in.occupied())
+		for port := range r.In {
+			resident += int64(r.In[port].occupied())
 		}
 	}
 	for i, s := range m.sinks {
-		for vc, b := range s.port.bufs {
-			auditBuffer(b, report, "sink %d vc %d", i, vc)
+		for vc := range s.port.bufs {
+			auditBuffer(&s.port.bufs[vc], report, "sink %d vc %d", i, vc)
 		}
 		resident += int64(s.port.occupied())
 	}
 	var inFlight, launched, drained int64
 	for _, l := range m.links {
-		if l.pendingFlit != nil {
+		if l.flitPkt != nil {
 			inFlight++
 		}
 	}
@@ -85,11 +88,12 @@ func (m *Mesh) Audit(report func(kind, format string, args ...any)) {
 // idle-skip condition) from the live structures: flits on links, flits
 // in router input buffers, and credits in flight. An imbalance means the
 // mesh could sleep while work remains — a timing bug idle-skip would
-// silently introduce.
+// silently introduce. The per-router pending and want counters (the
+// router-skip and port-skip conditions) are recomputed the same way.
 func (m *Mesh) auditActivity(report func(kind, format string, args ...any)) {
 	var scan int64
 	for i, l := range m.links {
-		if l.pendingFlit != nil {
+		if l.flitPkt != nil {
 			scan++
 		}
 		pend := 0
@@ -104,15 +108,24 @@ func (m *Mesh) auditActivity(report func(kind, format string, args ...any)) {
 	}
 	for _, r := range m.Routers {
 		resident := 0
-		for _, in := range r.In {
+		var want [NumPorts]int32
+		for port := range r.In {
+			in := &r.In[port]
 			scan += int64(in.occupied())
-			for _, b := range in.bufs {
-				resident += len(b.packets)
+			for vc := range in.bufs {
+				for _, pp := range in.bufs[vc].packets {
+					resident++
+					want[pp.route]++
+				}
 			}
 		}
 		if resident != r.pending {
 			report("activity-ledger", "router %v: %d resident packets but pending %d",
 				r.Pos, resident, r.pending)
+		}
+		if want != r.want {
+			report("activity-ledger", "router %v: resident routes %v but want %v",
+				r.Pos, want, r.want)
 		}
 	}
 	if scan != m.work {
@@ -120,15 +133,15 @@ func (m *Mesh) auditActivity(report func(kind, format string, args ...any)) {
 	}
 }
 
-// auditLink checks the credit loop of one link: every VC's credit supply
+// auditCounts checks the credit loop of one link: every VC's credit supply
 // is partitioned between the sender, the wires, and the downstream
 // buffer, and the partition always sums to the buffer capacity.
 func (l *Link) auditCounts(vc int) (balance, inFlight, occupied, pending, capacity int) {
 	balance = l.creditTo.creditBalance(vc)
-	if l.pendingFlit != nil && l.pendingFlit.vc == vc {
+	if l.flitPkt != nil && l.flitVC == vc {
 		inFlight = 1
 	}
-	b := l.dst.bufs[vc]
+	b := &l.dst.bufs[vc]
 	return balance, inFlight, b.occupied, l.pendingCredits[vc], b.capacity
 }
 

@@ -117,7 +117,7 @@ func TestAuditCatchesLostFlit(t *testing.T) {
 	inj.Enqueue(mkPacket(1, src, dst, 4))
 	// Launch one flit and deliver it by hand, without stepping the
 	// routers — a full Mesh.Step would forward it onward immediately.
-	buf := m.RouterAt(src).In[PortLocal].bufs[0]
+	buf := &m.RouterAt(src).In[PortLocal].bufs[0]
 	inj.Step(0)
 	inj.link.deliver(1)
 	if buf.occupied == 0 {
@@ -134,7 +134,7 @@ func TestAuditCatchesLostFlit(t *testing.T) {
 // forwarded.
 func TestAuditCatchesWormholeReorder(t *testing.T) {
 	m, _ := NewMesh(2, 2, 8)
-	buf := m.RouterAt(Coord{0, 0}).In[PortEast].bufs[0]
+	buf := &m.RouterAt(Coord{0, 0}).In[PortEast].bufs[0]
 	a := mkPacket(1, Coord{1, 0}, Coord{0, 0}, 2)
 	b := mkPacket(2, Coord{1, 0}, Coord{0, 0}, 2)
 	buf.packets = []*PacketProgress{

@@ -4,11 +4,16 @@ import "fmt"
 
 // PacketProgress tracks a packet resident in one input buffer: how many of
 // its flits have arrived from the upstream link and how many have been
-// forwarded out. The packet occupies Arrived-Sent flit slots.
+// forwarded out. The packet occupies Arrived-Sent flit slots. route is the
+// output port the owning router pinned at head arrival (unused in sink
+// buffers). PacketProgress values are pooled per mesh: one is leased from
+// the free-list as a head flit arrives and returned as the last flit
+// leaves, so the steady-state hot path allocates nothing.
 type PacketProgress struct {
 	Pkt     *Packet
 	Arrived int
 	Sent    int
+	route   int8
 }
 
 // InputBuffer is a FIFO flit buffer of one virtual channel on a router
@@ -25,43 +30,58 @@ type InputBuffer struct {
 	feed *Link // upstream link; flits forwarded out return credits on it
 
 	// onNewPacket, when set, is invoked as the head flit of a packet
-	// arrives (the router uses it to register the packet with the flow
-	// controller of its requested output).
-	onNewPacket func(p *Packet, now int64)
+	// arrives (the router uses it to pin the packet's route and register
+	// it with the flow controller of its requested output).
+	onNewPacket func(pp *PacketProgress, now int64)
 
 	lastForwardCycle int64 // at most one flit leaves the buffer per cycle
 }
 
+func (b *InputBuffer) init(vc, capacity int) {
+	b.vc = vc
+	b.capacity = capacity
+	b.lastForwardCycle = -1
+}
+
 func newInputBuffer(vc, capacity int) *InputBuffer {
-	return &InputBuffer{vc: vc, capacity: capacity, lastForwardCycle: -1}
+	b := &InputBuffer{}
+	b.init(vc, capacity)
+	return b
 }
 
 // inputPort groups the virtual-channel buffers of one physical input.
+// The buffers are a value slice allocated once at construction and never
+// resized, so &bufs[vc] pointers taken by links stay valid.
 type inputPort struct {
-	bufs []*InputBuffer
+	bufs []InputBuffer
+}
+
+func (p *inputPort) init(vcs, capacity int) {
+	p.bufs = make([]InputBuffer, vcs)
+	for v := range p.bufs {
+		p.bufs[v].init(v, capacity)
+	}
 }
 
 func newInputPort(vcs, capacity int) *inputPort {
 	p := &inputPort{}
-	for v := 0; v < vcs; v++ {
-		p.bufs = append(p.bufs, newInputBuffer(v, capacity))
-	}
+	p.init(vcs, capacity)
 	return p
 }
 
 // occupied sums flits held across the port's VCs.
 func (p *inputPort) occupied() int {
 	n := 0
-	for _, b := range p.bufs {
-		n += b.occupied
+	for i := range p.bufs {
+		n += p.bufs[i].occupied
 	}
 	return n
 }
 
 // empty reports whether no packet occupies any VC of the port.
 func (p *inputPort) empty() bool {
-	for _, b := range p.bufs {
-		if len(b.packets) > 0 {
+	for i := range p.bufs {
+		if len(p.bufs[i].packets) > 0 {
 			return false
 		}
 	}
@@ -74,6 +94,33 @@ func (b *InputBuffer) Capacity() int { return b.capacity }
 // Occupied returns the number of flits currently held.
 func (b *InputBuffer) Occupied() int { return b.occupied }
 
+// leaseProgress allocates a PacketProgress, from the mesh pool when the
+// buffer is wired to one (standalone buffers in unit tests are not).
+func (b *InputBuffer) leaseProgress() *PacketProgress {
+	if b.feed != nil {
+		return b.feed.m.getProgress()
+	}
+	return &PacketProgress{}
+}
+
+// releaseProgress returns a fully forwarded PacketProgress to the pool.
+func (b *InputBuffer) releaseProgress(pp *PacketProgress) {
+	if b.feed != nil {
+		b.feed.m.putProgress(pp)
+	}
+}
+
+// pop removes the head entry with a copy-shift so the slice's backing
+// array is reused forever instead of creeping forward one slot per
+// packet (re-slicing b.packets[1:] would force a reallocation on almost
+// every later append).
+func (b *InputBuffer) pop() {
+	n := len(b.packets)
+	copy(b.packets, b.packets[1:])
+	b.packets[n-1] = nil
+	b.packets = b.packets[:n-1]
+}
+
 // acceptFlit stores one arriving flit. head marks the first flit of a
 // packet. Credit flow control guarantees space; overflow is a protocol
 // bug and panics.
@@ -83,9 +130,12 @@ func (b *InputBuffer) acceptFlit(p *Packet, head bool, now int64) {
 	}
 	b.occupied++
 	if head {
-		b.packets = append(b.packets, &PacketProgress{Pkt: p, Arrived: 1})
+		pp := b.leaseProgress()
+		pp.Pkt = p
+		pp.Arrived = 1
+		b.packets = append(b.packets, pp)
 		if b.onNewPacket != nil {
-			b.onNewPacket(p, now)
+			b.onNewPacket(pp, now)
 		}
 		return
 	}
@@ -111,7 +161,9 @@ func (b *InputBuffer) canForward(pp *PacketProgress, now int64) bool {
 
 // forwardFlit removes one flit of the head packet, returning a credit on
 // the feeding link. It reports whether the packet is fully forwarded (and
-// therefore popped from the FIFO).
+// therefore popped from the FIFO). When it returns true the
+// PacketProgress has been released back to the pool — the caller must
+// drop its pointer without dereferencing it again.
 func (b *InputBuffer) forwardFlit(pp *PacketProgress, now int64) bool {
 	if b.head() != pp {
 		panic("noc: forwarding a non-head packet")
@@ -131,7 +183,8 @@ func (b *InputBuffer) forwardFlit(pp *PacketProgress, now int64) bool {
 		b.feed.m.workAdd(-1)
 	}
 	if pp.Sent == pp.Pkt.Flits {
-		b.packets = b.packets[1:]
+		b.pop()
+		b.releaseProgress(pp)
 		return true
 	}
 	return false

@@ -10,32 +10,30 @@ type creditReceiver interface {
 	creditBalance(vc int) int
 }
 
-type flitMsg struct {
-	pkt  *Packet
-	head bool
-	vc   int
-}
-
 // Link is a one-cycle-latency unidirectional channel carrying one flit
 // per cycle from an output port (or injector) to a router input, plus the
 // reverse credit wires. With virtual channels, flits of different VCs may
 // interleave on the link; the receiving side demultiplexes them into
-// per-VC buffers.
+// per-VC buffers. The in-flight flit is stored inline (flitPkt nil when
+// the link is empty) so launching costs no allocation.
 type Link struct {
 	m        *Mesh
 	dst      *inputPort
 	creditTo creditReceiver
 	sink     *Sink // non-nil when dst is a sink's credit buffer
 
-	pendingFlit    *flitMsg
+	flitPkt  *Packet
+	flitHead bool
+	flitVC   int
+
 	pendingCredits []int // per VC
 	credPending    int   // total queued credits across VCs
 }
 
 func newLink(m *Mesh, dst *inputPort, creditTo creditReceiver) *Link {
 	l := &Link{m: m, dst: dst, creditTo: creditTo, pendingCredits: make([]int, len(dst.bufs))}
-	for _, b := range dst.bufs {
-		b.feed = l
+	for i := range dst.bufs {
+		dst.bufs[i].feed = l
 	}
 	return l
 }
@@ -44,10 +42,10 @@ func newLink(m *Mesh, dst *inputPort, creditTo creditReceiver) *Link {
 // of its virtual channel on the next deliver phase. At most one flit per
 // cycle crosses the link, whatever its VC.
 func (l *Link) launch(p *Packet, head bool, vc int) {
-	if l.pendingFlit != nil {
+	if l.flitPkt != nil {
 		panic("noc: two flits launched on one link in one cycle")
 	}
-	l.pendingFlit = &flitMsg{pkt: p, head: head, vc: vc}
+	l.flitPkt, l.flitHead, l.flitVC = p, head, vc
 	l.m.workAdd(1)
 }
 
@@ -65,10 +63,10 @@ func (l *Link) returnCredit(vc int) {
 // landing in a sink's credit buffer leaves it — the sink's consumer is
 // woken to drain it instead.
 func (l *Link) deliver(now int64) {
-	if l.pendingFlit != nil {
-		m := l.pendingFlit
-		l.pendingFlit = nil
-		l.dst.bufs[m.vc].acceptFlit(m.pkt, m.head, now)
+	if l.flitPkt != nil {
+		pkt, head, vc := l.flitPkt, l.flitHead, l.flitVC
+		l.flitPkt = nil
+		l.dst.bufs[vc].acceptFlit(pkt, head, now)
 		if l.sink != nil {
 			l.m.workAdd(-1)
 			if l.sink.OnArrival != nil {
@@ -89,4 +87,4 @@ func (l *Link) deliver(now int64) {
 }
 
 // busy reports whether a flit is in flight.
-func (l *Link) busy() bool { return l.pendingFlit != nil }
+func (l *Link) busy() bool { return l.flitPkt != nil }

@@ -78,6 +78,13 @@ type Mesh struct {
 	injectors []*Injector
 	sinks     []*Sink
 
+	// ppFree is the mesh's PacketProgress free-list: entries are leased
+	// as head flits arrive and returned as tail flits leave, so the
+	// steady state recycles a small working set instead of allocating
+	// one per packet-hop. Per-mesh (not global) so concurrent sweeps
+	// stay race-free.
+	ppFree []*PacketProgress
+
 	// work is the mesh's activity ledger: flits in flight on links, flits
 	// resident in router input buffers, and credits awaiting delivery.
 	// Flits delivered into a sink's credit buffers leave the ledger — the
@@ -116,10 +123,16 @@ func NewMeshVC(width, height, bufFlits, vcs int) (*Mesh, error) {
 		return nil, fmt.Errorf("noc: virtual channels must be 1..4, got %d", vcs)
 	}
 	m := &Mesh{Width: width, Height: height, vcs: vcs}
+	// One contiguous arena for all routers: the per-cycle Arbitrate walk
+	// touches sequential memory. The *Router view stays because pointers
+	// into the arena are stable (the backing slice is never resized).
+	arena := make([]Router, width*height)
 	m.Routers = make([]*Router, width*height)
 	for y := 0; y < height; y++ {
 		for x := 0; x < width; x++ {
-			m.Routers[m.index(Coord{x, y})] = newRouter(Coord{x, y}, vcs, bufFlits)
+			i := m.index(Coord{x, y})
+			arena[i].init(Coord{x, y}, vcs, bufFlits)
+			m.Routers[i] = &arena[i]
 		}
 	}
 	// Wire neighbouring routers with links in both directions.
@@ -157,10 +170,11 @@ func (m *Mesh) RouterAt(c Coord) *Router {
 
 // connect wires src's output port to dst's input port with a 1-cycle link.
 func (m *Mesh) connect(src *Router, srcPort int, dst *Router, dstPort int) {
-	l := newLink(m, dst.In[dstPort], src.Out[srcPort])
-	src.Out[srcPort].link = l
-	for vc, b := range dst.In[dstPort].bufs {
-		src.Out[srcPort].credits[vc] = b.capacity
+	in, out := &dst.In[dstPort], &src.Out[srcPort]
+	l := newLink(m, in, out)
+	out.link = l
+	for vc := range in.bufs {
+		out.credits[vc] = in.bufs[vc].capacity
 	}
 	m.links = append(m.links, l)
 }
@@ -170,10 +184,11 @@ func (m *Mesh) connect(src *Router, srcPort int, dst *Router, dstPort int) {
 func (m *Mesh) AttachInjector(c Coord) *Injector {
 	r := m.RouterAt(c)
 	inj := newInjector(c, m.vcs)
-	for vc, b := range r.In[PortLocal].bufs {
-		inj.credits[vc] = b.capacity
+	in := &r.In[PortLocal]
+	for vc := range in.bufs {
+		inj.credits[vc] = in.bufs[vc].capacity
 	}
-	inj.link = newLink(m, r.In[PortLocal], inj)
+	inj.link = newLink(m, in, inj)
 	m.links = append(m.links, inj.link)
 	m.injectors = append(m.injectors, inj)
 	return inj
@@ -186,11 +201,12 @@ func (m *Mesh) AttachInjector(c Coord) *Injector {
 func (m *Mesh) AttachSink(c Coord, queueFlits, maxReady int) *Sink {
 	r := m.RouterAt(c)
 	s := newSink(m.vcs, queueFlits, maxReady)
-	l := newLink(m, s.port, r.Out[PortLocal])
+	out := &r.Out[PortLocal]
+	l := newLink(m, s.port, out)
 	l.sink = s
-	r.Out[PortLocal].link = l
-	for vc := range r.Out[PortLocal].credits {
-		r.Out[PortLocal].credits[vc] = queueFlits
+	out.link = l
+	for vc := range out.credits {
+		out.credits[vc] = queueFlits
 	}
 	m.links = append(m.links, l)
 	m.sinks = append(m.sinks, s)
@@ -204,7 +220,7 @@ func (m *Mesh) AttachSink(c Coord, queueFlits, maxReady int) *Sink {
 // a shared allocator in this order.
 func (m *Mesh) Deliver(now int64) {
 	for _, l := range m.links {
-		if l.pendingFlit == nil && l.credPending == 0 {
+		if l.flitPkt == nil && l.credPending == 0 {
 			continue
 		}
 		l.deliver(now)
@@ -248,12 +264,32 @@ func (m *Mesh) workAdd(d int64) {
 	}
 }
 
+// getProgress leases a PacketProgress from the free-list (or allocates
+// when the list is dry — cold start only, in steady state the pool
+// recycles).
+func (m *Mesh) getProgress() *PacketProgress {
+	if n := len(m.ppFree); n > 0 {
+		pp := m.ppFree[n-1]
+		m.ppFree[n-1] = nil
+		m.ppFree = m.ppFree[:n-1]
+		return pp
+	}
+	return &PacketProgress{}
+}
+
+// putProgress returns a retired PacketProgress to the free-list, zeroed
+// so a stale *Packet cannot leak through the pool.
+func (m *Mesh) putProgress(pp *PacketProgress) {
+	*pp = PacketProgress{}
+	m.ppFree = append(m.ppFree, pp)
+}
+
 // Quiescent reports whether no packet occupies any buffer or link in the
 // mesh — used by drain phases and tests.
 func (m *Mesh) Quiescent() bool {
 	for _, r := range m.Routers {
-		for _, p := range r.In {
-			if !p.empty() {
+		for p := range r.In {
+			if !r.In[p].empty() {
 				return false
 			}
 		}

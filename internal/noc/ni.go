@@ -90,7 +90,11 @@ func (inj *Injector) Step(now int64) {
 		inj.queuedFlits--
 		inj.launched++
 		if inj.sent[vc] == p.Flits {
-			inj.queues[vc] = q[1:]
+			// Copy-shift pop keeps the queue's backing array (re-slicing
+			// q[1:] would creep and force a reallocation per packet).
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			inj.queues[vc] = q[:len(q)-1]
 			inj.sent[vc] = 0
 		}
 		return
@@ -139,7 +143,7 @@ func (s *Sink) Step(now int64) {
 }
 
 func (s *Sink) drainVC(vc int) {
-	buf := s.port.bufs[vc]
+	buf := &s.port.bufs[vc]
 	for len(s.ready) < s.maxReady {
 		pp := buf.head()
 		if pp == nil {
@@ -156,8 +160,9 @@ func (s *Sink) drainVC(vc int) {
 			}
 			drained = true
 			if pp.Sent == pp.Pkt.Flits {
-				buf.packets = buf.packets[1:]
 				s.ready = append(s.ready, pp.Pkt)
+				buf.pop()
+				buf.releaseProgress(pp)
 				if len(s.ready) > s.readyHWM {
 					s.readyHWM = len(s.ready)
 				}
@@ -185,7 +190,9 @@ func (s *Sink) Pop(now int64) *Packet {
 		return nil
 	}
 	p := s.ready[0]
-	s.ready = s.ready[1:]
+	copy(s.ready, s.ready[1:])
+	s.ready[len(s.ready)-1] = nil
+	s.ready = s.ready[:len(s.ready)-1]
 	return p
 }
 

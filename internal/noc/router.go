@@ -15,6 +15,10 @@ type Candidate struct {
 //
 // Implementations: round-robin and priority-first in internal/router, the
 // paper's GSS token algorithm in internal/core.
+//
+// The cands slice passed to Select is scratch storage owned by the router
+// and overwritten on the next allocation — implementations must not
+// retain it across calls.
 type Allocator interface {
 	// OnPacketArrival is invoked once when a packet arrives in an input
 	// buffer of this router and will request this output.
@@ -28,7 +32,7 @@ type Allocator interface {
 }
 
 // activeXfer is a wormhole transfer in progress on one VC of an output
-// port.
+// port; pp == nil marks the slot free.
 type activeXfer struct {
 	buf *InputBuffer
 	pp  *PacketProgress
@@ -43,7 +47,7 @@ type OutputPort struct {
 	link    *Link
 	credits []int
 	alloc   Allocator
-	active  []*activeXfer
+	active  []activeXfer
 
 	// BusyCycles counts cycles a flit was actually launched; used by the
 	// activity-based power model.
@@ -69,14 +73,20 @@ func (o *OutputPort) vcCount() int { return len(o.active) }
 // port carries its own allocator so that, as in the paper, only channels
 // on paths toward the memory subsystem need the (more expensive) GSS flow
 // controller.
+//
+// The router's state is laid out struct-of-arrays style: ports, buffers,
+// and transfer slots are value arrays inside the Router, and routers
+// themselves live in one contiguous arena per mesh, so the per-cycle walk
+// touches sequential memory instead of chasing per-port heap objects.
+// Pointers into the arrays (&r.Out[p], &r.In[p].bufs[vc]) stay valid
+// because none of the arrays is ever resized after construction.
 type Router struct {
 	Pos Coord
-	In  [NumPorts]*inputPort
-	Out [NumPorts]*OutputPort
+	In  [NumPorts]inputPort
+	Out [NumPorts]OutputPort
 	vcs int
 
 	routing Routing
-	pinned  map[*Packet]int // adaptive routing decisions, per resident packet
 
 	// pending counts packets resident in the router's input buffers
 	// (arrived head flit, not yet fully forwarded). While zero, step is a
@@ -85,26 +95,48 @@ type Router struct {
 	// flits are all forwarded-or-unarrived must still be visited every
 	// cycle so channel allocation happens the cycle the head arrives.
 	pending int
+
+	// want counts resident packets routed to each output port (pinned at
+	// head arrival). A port with want zero has no candidates and no
+	// active transfer, so step skips it without touching its VC slots.
+	want [NumPorts]int32
+
+	// cands/candBufs are scratch storage for allocate, sized for the
+	// worst case of one candidate per input port.
+	cands    [NumPorts]Candidate
+	candBufs [NumPorts]*InputBuffer
+}
+
+func (r *Router) init(pos Coord, vcs, bufFlits int) {
+	r.Pos = pos
+	r.vcs = vcs
+	for p := 0; p < NumPorts; p++ {
+		r.In[p].init(vcs, bufFlits)
+		o := &r.Out[p]
+		o.alloc = fifoAllocator{}
+		o.credits = make([]int, vcs)
+		o.active = make([]activeXfer, vcs)
+		for v := range r.In[p].bufs {
+			r.In[p].bufs[v].onNewPacket = r.onNewPacket
+		}
+	}
 }
 
 func newRouter(pos Coord, vcs, bufFlits int) *Router {
-	r := &Router{Pos: pos, vcs: vcs}
-	for p := 0; p < NumPorts; p++ {
-		r.In[p] = newInputPort(vcs, bufFlits)
-		r.Out[p] = &OutputPort{
-			alloc:   &fifoAllocator{},
-			credits: make([]int, vcs),
-			active:  make([]*activeXfer, vcs),
-		}
-		for _, b := range r.In[p].bufs {
-			b.onNewPacket = func(pkt *Packet, now int64) {
-				r.pending++
-				out := r.pinRoute(pkt)
-				r.Out[out].alloc.OnPacketArrival(pkt, now)
-			}
-		}
-	}
+	r := &Router{}
+	r.init(pos, vcs, bufFlits)
 	return r
+}
+
+// onNewPacket registers a packet whose head flit just arrived: pin its
+// route, bump the desire counter of that output, and introduce it to the
+// output's flow-control policy.
+func (r *Router) onNewPacket(pp *PacketProgress, now int64) {
+	r.pending++
+	out := r.routeFor(pp.Pkt)
+	pp.route = int8(out)
+	r.want[out]++
+	r.Out[out].alloc.OnPacketArrival(pp.Pkt, now)
 }
 
 // SetAllocator installs a flow-control policy on one output port.
@@ -133,19 +165,24 @@ func vcOf(p *Packet, vcs int) int {
 // one flit per cycle; the priority VC goes first).
 func (r *Router) step(now int64) {
 	for out := 0; out < NumPorts; out++ {
-		o := r.Out[out]
+		o := &r.Out[out]
 		if o.link == nil {
 			continue // unconnected edge port
 		}
+		if r.want[out] == 0 {
+			// No resident packet is routed here: nothing to allocate and
+			// (since want covers packets mid-transfer) no active slot.
+			continue
+		}
 		for vc := range o.active {
-			if o.active[vc] == nil {
+			if o.active[vc].pp == nil {
 				r.allocate(out, vc, now)
 			}
 		}
 		// Send one flit: highest VC (priority) first.
-		for vc := o.vcCount() - 1; vc >= 0; vc-- {
-			a := o.active[vc]
-			if a == nil || o.credits[vc] <= 0 || !a.buf.canForward(a.pp, now) {
+		for vc := len(o.active) - 1; vc >= 0; vc-- {
+			a := &o.active[vc]
+			if a.pp == nil || o.credits[vc] <= 0 || !a.buf.canForward(a.pp, now) {
 				continue
 			}
 			head := a.pp.Sent == 0
@@ -153,9 +190,11 @@ func (r *Router) step(now int64) {
 			o.credits[vc]--
 			o.BusyCycles++
 			if a.buf.forwardFlit(a.pp, now) {
+				// forwardFlit released the PacketProgress to the pool; drop
+				// the transfer slot without touching it again.
 				r.pending--
-				r.unpinRoute(a.pp.Pkt)
-				o.active[vc] = nil
+				r.want[out]--
+				a.pp, a.buf = nil, nil
 			}
 			break
 		}
@@ -163,34 +202,33 @@ func (r *Router) step(now int64) {
 }
 
 // allocate gathers the input-buffer heads of the given VC requesting
-// output port out and asks the port's allocator to pick a winner.
+// output port out and asks the port's allocator to pick a winner. The
+// candidate lists live in the router's scratch arrays — no per-cycle
+// allocation.
 func (r *Router) allocate(out, vc int, now int64) {
-	o := r.Out[out]
-	var cands []Candidate
-	var bufs []*InputBuffer
+	n := 0
 	for in := 0; in < NumPorts; in++ {
-		b := r.In[in].bufs[vc]
+		b := &r.In[in].bufs[vc]
 		pp := b.head()
-		if pp == nil {
+		if pp == nil || int(pp.route) != out {
 			continue
 		}
-		if r.pinRoute(pp.Pkt) != out {
-			continue
-		}
-		cands = append(cands, Candidate{Pkt: pp.Pkt, Port: in})
-		bufs = append(bufs, b)
+		r.cands[n] = Candidate{Pkt: pp.Pkt, Port: in}
+		r.candBufs[n] = b
+		n++
 	}
-	if len(cands) == 0 {
+	if n == 0 {
 		return
 	}
-	idx := o.alloc.Select(cands, now)
+	o := &r.Out[out]
+	idx := o.alloc.Select(r.cands[:n], now)
 	if idx < 0 {
 		return
 	}
-	buf := bufs[idx]
-	o.active[vc] = &activeXfer{buf: buf, pp: buf.head()}
+	buf := r.candBufs[idx]
+	o.active[vc] = activeXfer{buf: buf, pp: buf.head()}
 	o.Grants++
-	o.alloc.OnScheduled(cands[idx].Pkt, now)
+	o.alloc.OnScheduled(r.cands[idx].Pkt, now)
 }
 
 // fifoAllocator is the default placeholder policy: it grants the first

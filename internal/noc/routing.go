@@ -61,15 +61,18 @@ func (m *Mesh) SetRouting(r Routing) {
 	}
 }
 
-// pinRoute picks (once) the output port a packet takes at this router.
-// Deterministic routing needs no state; adaptive routing evaluates the
-// congestion of the permitted outputs at arrival time — the paper's
-// "packets given multiple routing paths by an adaptive routing logic can
-// be scheduled to other flow controllers which are not busy" — and pins
-// the choice so the packet requests a single channel.
-func (r *Router) pinRoute(p *Packet) int {
-	if out, ok := r.pinned[p]; ok {
-		return out
+// routeFor picks the output port a packet takes at this router, once, as
+// its head flit arrives; the choice is pinned in the packet's
+// PacketProgress so the packet requests a single channel for its whole
+// residency. Deterministic routing needs no state; adaptive routing
+// evaluates the congestion of the permitted outputs at arrival time —
+// the paper's "packets given multiple routing paths by an adaptive
+// routing logic can be scheduled to other flow controllers which are not
+// busy".
+func (r *Router) routeFor(p *Packet) int {
+	if r.routing == RoutingXY {
+		// Fast path: XY needs no candidate set and no allocation.
+		return XYRoute(r.Pos, p.Dst)
 	}
 	opts := PermittedOutputs(r.routing, r.Pos, p.Dst)
 	best := opts[0]
@@ -82,34 +85,22 @@ func (r *Router) pinRoute(p *Packet) int {
 			}
 		}
 	}
-	if r.pinned == nil {
-		r.pinned = make(map[*Packet]int)
-	}
-	r.pinned[p] = best
 	return best
 }
 
 // outputScore ranks an output for adaptive selection: free channels and
 // available credits score high; a channel mid-transfer scores low.
 func (r *Router) outputScore(out int, p *Packet) int {
-	o := r.Out[out]
+	o := &r.Out[out]
 	if o.link == nil {
 		return -1 << 29
 	}
 	vc := vcOf(p, r.vcs)
 	s := o.credits[vc]
-	if o.active[vc] == nil {
+	if a := &o.active[vc]; a.pp == nil {
 		s += 1000
-	} else if a := o.active[vc]; a.pp != nil {
+	} else {
 		s -= a.pp.Pkt.Flits - a.pp.Sent // penalise long residual transfers
 	}
 	return s
-}
-
-// unpinRoute drops the pinned choice once the packet has fully left the
-// router.
-func (r *Router) unpinRoute(p *Packet) {
-	if r.pinned != nil {
-		delete(r.pinned, p)
-	}
 }

@@ -52,6 +52,11 @@ func (r *RoundRobin) OnScheduled(p *noc.Packet, _ int64) {
 // policy. With a RoundRobin inner policy this is the paper's PFS service.
 type PriorityFirst struct {
 	Inner noc.Allocator
+
+	// pri/idx are reusable scratch for Select, grown on demand so the
+	// per-cycle filtering allocates nothing in steady state.
+	pri []noc.Candidate
+	idx []int
 }
 
 // OnPacketArrival forwards to the inner policy.
@@ -62,18 +67,23 @@ func (p *PriorityFirst) OnPacketArrival(pkt *noc.Packet, now int64) {
 // Select restricts the candidate set to priority packets when any are
 // present, then delegates.
 func (p *PriorityFirst) Select(cands []noc.Candidate, now int64) int {
-	var pri []noc.Candidate
-	var idx []int
+	if cap(p.pri) < len(cands) {
+		p.pri = make([]noc.Candidate, len(cands))
+		p.idx = make([]int, len(cands))
+	}
+	pri, idx := p.pri[:len(cands)], p.idx[:len(cands)]
+	n := 0
 	for i, c := range cands {
 		if c.Pkt.Priority {
-			pri = append(pri, c)
-			idx = append(idx, i)
+			pri[n] = c
+			idx[n] = i
+			n++
 		}
 	}
-	if len(pri) == 0 {
+	if n == 0 {
 		return p.Inner.Select(cands, now)
 	}
-	w := p.Inner.Select(pri, now)
+	w := p.Inner.Select(pri[:n], now)
 	if w < 0 {
 		return -1
 	}

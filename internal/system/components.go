@@ -128,6 +128,8 @@ func (r *Runner) buildKernel() {
 						break
 					}
 					r.completeSplit(p, now)
+					// The response packet's journey ends here; recycle it.
+					r.freePkt(p)
 				}
 			},
 			next: func(now int64) int64 {

@@ -279,6 +279,15 @@ type Runner struct {
 	split  *core.Splitter // nil when the design does not split
 	nextID int64
 
+	// Free-lists for the per-request allocations on the saturated hot
+	// path: packets cycle core→mesh→controller→(response mesh)→core and
+	// are recycled at their completion points, so steady state allocates
+	// nothing per request. Everything downstream that outlives a packet
+	// (controller `last` state, GSS history) holds value copies, never
+	// pointers, so recycling is safe.
+	pktFree []*noc.Packet
+	logFree []*logical
+
 	met       stats.Metrics
 	coreStats []CoreStats
 
@@ -413,7 +422,7 @@ func New(cfg Config) (*Runner, error) {
 		if g == 0 {
 			g = core.SplitGranularity(int(cfg.Gen))
 		}
-		r.split = &core.Splitter{GranularityBeats: g}
+		r.split = &core.Splitter{GranularityBeats: g, Alloc: r.allocPkt}
 	}
 
 	// Cores: traffic sources + NIs. In replay mode the recorded requests
@@ -523,18 +532,57 @@ func (r *Runner) installAllocators() {
 	}
 }
 
+// allocPkt leases a packet from the free-list (or allocates the pool's
+// first copies). Callers overwrite every field, so no zeroing on lease.
+func (r *Runner) allocPkt() *noc.Packet {
+	if n := len(r.pktFree); n > 0 {
+		p := r.pktFree[n-1]
+		r.pktFree = r.pktFree[:n-1]
+		return p
+	}
+	return new(noc.Packet)
+}
+
+// freePkt returns a packet to the free-list. The caller asserts nothing
+// holds the pointer any more: the packet has left both meshes and the
+// controller, and all retained history (controller `last`, GSS state) is
+// by value. Zeroed so a stale read after recycling is loud, not subtle.
+func (r *Runner) freePkt(p *noc.Packet) {
+	*p = noc.Packet{}
+	r.pktFree = append(r.pktFree, p)
+}
+
+// allocLogical / freeLogical pool the split-chain bookkeeping records the
+// same way (one per logical request, recycled at completion).
+func (r *Runner) allocLogical() *logical {
+	if n := len(r.logFree); n > 0 {
+		l := r.logFree[n-1]
+		r.logFree = r.logFree[:n-1]
+		return l
+	}
+	return new(logical)
+}
+
+func (r *Runner) freeLogical(l *logical) {
+	*l = logical{}
+	r.logFree = append(r.logFree, l)
+}
+
 // onMemDone handles a controller completion on one channel: writes
 // complete the split immediately; reads send a response packet back
-// through the response mesh from the channel's port.
+// through the response mesh from the channel's port. Either way the
+// request packet is finished with and returns to the pool.
 func (r *Runner) onMemDone(ch int, c memctrl.Completion) {
 	r.chDone[ch]++
 	p := c.Pkt
 	if p.Kind == noc.Write {
 		r.completeSplit(p, c.At)
+		r.freePkt(p)
 		return
 	}
 	r.nextID++
-	resp := &noc.Packet{
+	resp := r.allocPkt()
+	*resp = noc.Packet{
 		ID: r.nextID, ParentID: p.ParentID,
 		SrcCore: p.SrcCore, Src: r.ports[ch], Dst: p.Src,
 		Kind: noc.Read, Class: p.Class, Priority: p.Priority,
@@ -542,6 +590,7 @@ func (r *Runner) onMemDone(ch int, c memctrl.Completion) {
 		Flits: noc.FlitsForBeats(p.Beats), Splits: p.Splits,
 		Gen: p.Gen, Response: true,
 	}
+	r.freePkt(p)
 	r.respInjs[ch].Enqueue(resp)
 	// Completions fire in the MemTick phase; the response injector's
 	// Inject slot is later this same cycle, as in the monolithic step.
@@ -584,6 +633,7 @@ func (r *Runner) completeSplit(p *noc.Packet, at int64) {
 	if l.core >= 0 && l.core < len(r.hInject) {
 		r.hInject[l.core].Wake(r.kern.Now() + 1)
 	}
+	r.freeLogical(l)
 }
 
 // Step advances the whole system one memory clock cycle: every awake
@@ -640,7 +690,8 @@ func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request
 	// owning device decodes. Single-channel routing is the identity.
 	ch, local := r.chmap.Route(req.Addr)
 	r.nextID++
-	base := &noc.Packet{
+	base := r.allocPkt()
+	*base = noc.Packet{
 		ID: r.nextID, ParentID: r.nextID,
 		SrcCore: indexOf(r.cores, c), Src: c.spec.Pos, Dst: r.ports[ch],
 		Kind: req.Kind, Class: req.Class, Priority: req.Priority,
@@ -657,15 +708,23 @@ func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request
 	} else {
 		pkts = core.NoSplit(base)
 	}
-	r.parents[base.ID] = &logical{
+	l := r.allocLogical()
+	*l = logical{
 		gen: now, entry: -1, stream: g, class: req.Class, priority: req.Priority,
 		read: req.Kind == noc.Read, pending: len(pkts),
 		core: base.SrcCore, beats: req.Beats,
 	}
+	r.parents[base.ID] = l
 	r.met.Generated++
 	r.chSent[ch] += int64(len(pkts))
 	if r.genPerCore != nil && base.SrcCore >= 0 {
 		r.genPerCore[base.SrcCore]++
+	}
+	// A write split under SAGM replaces the base packet with per-granule
+	// copies; the base itself never enters the mesh, so recycle it now
+	// (its ID lives on as the chain's ParentID key, which is by value).
+	if len(pkts) > 0 && pkts[0] != base {
+		r.freePkt(base)
 	}
 	for _, p := range pkts {
 		c.inj.Enqueue(p)

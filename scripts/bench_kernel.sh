@@ -1,22 +1,29 @@
 #!/bin/sh
 # bench_kernel.sh — run the table benchmarks and record the simulation
-# kernel's trajectory in BENCH_kernel.json: per-benchmark ns/op plus the
+# kernel's trajectory in BENCH_kernel.json: per-benchmark ns/op, the
 # idle-skip speedup on the low-utilization configs (the skip/noskip
-# variant pairs of BenchmarkTableLowUtil).
+# variant pairs of BenchmarkTableLowUtil), and the saturated-load
+# throughput of the BenchmarkHotPath pair (the perf gate's measurement,
+# see scripts/perf_gate.sh).
 #
-#   ./scripts/bench_kernel.sh [output.json]
+#   ./scripts/bench_kernel.sh [output.json] [trajectory.jsonl]
+#
+# Besides the full snapshot, one dated line summarising the run is
+# appended to the trajectory file (default BENCH_trajectory.jsonl) — the
+# long-term wall-clock record CI uploads on every run.
 #
 # BENCHTIME overrides the per-benchmark iteration budget (default 1x,
 # the CI smoke setting; use e.g. 5x for stabler local numbers).
 set -e
 
 out=${1:-BENCH_kernel.json}
+traj=${2:-BENCH_trajectory.jsonl}
 benchtime=${BENCHTIME:-1x}
 
-go test -run '^$' -bench Table -benchtime "$benchtime" . | tee /tmp/bench_table.txt
+go test -run '^$' -bench 'Table|HotPath' -benchtime "$benchtime" . | tee /tmp/bench_table.txt
 
 awk -v benchtime="$benchtime" '
-/^BenchmarkTable/ {
+/^Benchmark(Table|HotPath)/ {
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	ns = $3
@@ -35,6 +42,14 @@ awk -v benchtime="$benchtime" '
 		lowutil[cfg "/" mode] = ns
 		if (!(cfg in seen)) { seen[cfg] = ++ncfg; cfgs[ncfg] = cfg }
 	}
+	if (name ~ /^BenchmarkHotPath\//) {
+		sat = name
+		sub(/^BenchmarkHotPath\//, "", sat)
+		nsat++
+		sats[nsat] = sat
+		satcps[sat] = cps
+		satns[sat] = ns
+	}
 }
 END {
 	printf "{\n  \"benchtime\": \"%s\",\n  \"benches\": [\n", benchtime
@@ -42,6 +57,12 @@ END {
 		printf "    {\"name\": \"%s\", \"ns_per_op\": %s", names[i], nsop[i]
 		if (cycles[i] != "") printf ", \"cycles_per_s\": %s", cycles[i]
 		printf "}%s\n", (i < n) ? "," : ""
+	}
+	printf "  ],\n  \"saturated\": [\n"
+	for (i = 1; i <= nsat; i++) {
+		s = sats[i]
+		printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"cycles_per_s\": %s}%s\n", \
+			s, satns[s], satcps[s], (i < nsat) ? "," : ""
 	}
 	printf "  ],\n  \"idle_skip_speedup\": {\n"
 	for (i = 1; i <= ncfg; i++) {
@@ -55,3 +76,26 @@ END {
 
 echo "wrote $out:"
 cat "$out"
+
+# Append one dated summary line to the trajectory: the saturated
+# throughputs plus the idle-skip speedups, compact enough to diff and
+# plot across months of runs.
+date -u +%Y-%m-%d | awk -v benchtime="$benchtime" '
+{ day = $0 }
+END {
+	while ((getline line < "/tmp/bench_table.txt") > 0) {
+		nf = split(line, f, " ")
+		if (f[1] !~ /^BenchmarkHotPath\//) continue
+		name = f[1]
+		sub(/-[0-9]+$/, "", name)
+		sub(/^BenchmarkHotPath\//, "", name)
+		for (i = 4; i <= nf; i++) if (f[i] == "cycles/s") cps = f[i - 1]
+		nsat++
+		parts = parts sprintf("%s\"%s\": %s", (nsat > 1) ? ", " : "", name, cps)
+	}
+	printf "{\"date\": \"%s\", \"benchtime\": \"%s\", \"saturated_cycles_per_s\": {%s}}\n", \
+		day, benchtime, parts
+}' >> "$traj"
+
+echo "appended to $traj:"
+tail -1 "$traj"

@@ -1,0 +1,93 @@
+#!/bin/sh
+# perf_gate.sh — the CI perf-trajectory gate for the saturated hot path.
+#
+# Runs the BenchmarkHotPath pair (the two most saturated Table I points,
+# with work on nearly every cycle so idle-skip cannot mask a per-flit
+# regression) under cpu and heap profiling, then compares the measured
+# cycles/s of each member against the committed BENCH_hotpath.json
+# baseline. Any member whose throughput falls more than the baseline's
+# max_regression_pct (15%) below its recorded value fails the gate; the
+# profiles (hotpath_cpu.pprof / hotpath_mem.pprof) are left next to the
+# working tree for the CI job to upload on failure.
+#
+#   ./scripts/perf_gate.sh            # gate against BENCH_hotpath.json
+#   ./scripts/perf_gate.sh -update    # re-measure and rewrite the baseline
+#
+# BENCHTIME sets the iteration budget (default 3x). PERF_GATE_SCALE
+# multiplies the measured throughput before comparison — a testing hook
+# for the gate itself: PERF_GATE_SCALE=0.8 simulates a 20% slowdown and
+# must fail.
+set -e
+
+baseline=BENCH_hotpath.json
+benchtime=${BENCHTIME:-3x}
+scale=${PERF_GATE_SCALE:-1.0}
+mode=gate
+[ "${1:-}" = "-update" ] && mode=update
+
+go test -run '^$' -bench HotPath -benchtime "$benchtime" \
+	-cpuprofile hotpath_cpu.pprof -memprofile hotpath_mem.pprof . \
+	| tee /tmp/bench_hotpath.txt
+
+# Parse "BenchmarkHotPath/<name>-N  iters  ns/op ... cps cycles/s ..."
+# into "name ns cps" lines.
+awk '
+/^BenchmarkHotPath\// {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	sub(/^BenchmarkHotPath\//, "", name)
+	cps = ""
+	for (i = 4; i <= NF; i++) if ($i == "cycles/s") cps = $(i - 1)
+	print name, $3, cps
+}' /tmp/bench_hotpath.txt > /tmp/hotpath_parsed.txt
+
+if ! [ -s /tmp/hotpath_parsed.txt ]; then
+	echo "perf_gate: no BenchmarkHotPath results parsed" >&2
+	exit 1
+fi
+
+if [ "$mode" = "update" ]; then
+	{
+		printf '{\n  "date": "%s",\n  "benchtime": "%s",\n  "max_regression_pct": 15,\n  "benches": [\n' \
+			"$(date -u +%Y-%m-%d)" "$benchtime"
+		awk '{ lines[NR] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"cycles_per_s\": %s}", $1, $2, $3) }
+		END { for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR) ? "," : "" }' /tmp/hotpath_parsed.txt
+		printf '  ]\n}\n'
+	} > "$baseline"
+	echo "wrote $baseline:"
+	cat "$baseline"
+	exit 0
+fi
+
+if ! [ -f "$baseline" ]; then
+	echo "perf_gate: missing $baseline (run ./scripts/perf_gate.sh -update)" >&2
+	exit 1
+fi
+
+maxreg=$(jq -r '.max_regression_pct' "$baseline")
+fail=0
+while read -r name ns cps; do
+	want=$(jq -r --arg n "$name" '.benches[] | select(.name == $n) | .cycles_per_s' "$baseline")
+	if [ -z "$want" ] || [ "$want" = "null" ]; then
+		echo "perf_gate: $name has no baseline entry in $baseline" >&2
+		fail=1
+		continue
+	fi
+	# Fail when scaled throughput < (1 - maxreg/100) * baseline.
+	verdict=$(awk -v cps="$cps" -v scale="$scale" -v want="$want" -v maxreg="$maxreg" '
+	BEGIN {
+		got = cps * scale
+		floor = want * (1 - maxreg / 100)
+		pct = 100 * (got / want - 1)
+		printf "measured %.0f cycles/s (%+.1f%% vs baseline %.0f, floor %.0f): %s\n", \
+			got, pct, want, floor, (got < floor) ? "FAIL" : "ok"
+		exit (got < floor) ? 1 : 0
+	}') || fail=1
+	echo "perf_gate: $name: $verdict"
+done < /tmp/hotpath_parsed.txt
+
+if [ "$fail" -ne 0 ]; then
+	echo "perf_gate: saturated hot-path throughput regressed more than ${maxreg}% — see hotpath_cpu.pprof / hotpath_mem.pprof" >&2
+	exit 1
+fi
+echo "perf_gate: ok (within ${maxreg}% of $baseline)"
