@@ -45,6 +45,7 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
 	"aanoc/internal/mapping"
+	"aanoc/internal/memctrl"
 	"aanoc/internal/system"
 )
 
@@ -142,6 +143,59 @@ const (
 // "chan-bank-xor").
 func ParseChannelScheme(s string) (ChannelScheme, error) { return mapping.ParseChannelScheme(s) }
 
+// Scheduler selects the memory-scheduler design point; see the
+// constants. The zero value is the paper's default controller for the
+// chosen Design (MemMax behind CONV/PFS, the stream-aware Simple
+// controller elsewhere).
+type Scheduler string
+
+// The memory-scheduler zoo. Every non-default scheduler replaces the
+// design's controller on each channel; in checked mode its guarantee is
+// verified per request by a runtime monitor (see DESIGN.md, "Memory
+// schedulers").
+const (
+	// SchedulerDefault is the design's own controller — byte-identical
+	// behaviour to configs that predate the zoo.
+	SchedulerDefault Scheduler = ""
+	// SchedulerDPQ is the dynamic-priority-queue arbiter (after Shah et
+	// al.) with an analytic per-request worst-case completion bound
+	// computed from the DDR timing parameters.
+	SchedulerDPQ Scheduler = "dpq"
+	// SchedulerRegulated is the per-bank bandwidth regulator (after
+	// Sullivan et al.): each (core, bank) pair holds a beat budget per
+	// fixed window.
+	SchedulerRegulated Scheduler = "regulated"
+	// SchedulerStaged is the staged heterogeneous scheduler (SMS-style):
+	// requestors classify as light or heavy by outstanding-request
+	// intensity, and light traffic is served first.
+	SchedulerStaged Scheduler = "staged"
+)
+
+// String returns the scheduler name ("default" for the zero value).
+func (s Scheduler) String() string {
+	if s == SchedulerDefault {
+		return "default"
+	}
+	return string(s)
+}
+
+// ParseScheduler resolves a scheduler from its name. It accepts the
+// names Schedulers lists plus "default" and "" for the zero value.
+func ParseScheduler(s string) (Scheduler, error) {
+	if s == "" || s == "default" {
+		return SchedulerDefault, nil
+	}
+	if _, err := memctrl.ParseScheduler(s); err != nil {
+		return "", fmt.Errorf("aanoc: %w %q", ErrUnknownScheduler, s)
+	}
+	return Scheduler(s), nil
+}
+
+// Schedulers lists every scheduler, the default first.
+func Schedulers() []Scheduler {
+	return []Scheduler{SchedulerDefault, SchedulerDPQ, SchedulerRegulated, SchedulerStaged}
+}
+
 // Sentinel errors Config.Validate wraps; test with errors.Is.
 var (
 	// ErrUnknownApp reports an application name AllApps does not list.
@@ -151,6 +205,11 @@ var (
 	// ErrBadChannels reports a channel count the application model's
 	// memory ports (or the interleaving scheme) cannot support.
 	ErrBadChannels = errors.New("invalid channel count")
+	// ErrUnknownScheduler reports a scheduler name Schedulers does not
+	// list.
+	ErrUnknownScheduler = errors.New("unknown scheduler")
+	// ErrBadSampleEvery reports a negative observability sampling period.
+	ErrBadSampleEvery = errors.New("invalid sampling period")
 )
 
 // Config selects one simulation run.
@@ -187,6 +246,11 @@ type Config struct {
 	// ChannelScheme is the multi-channel interleaving policy (default
 	// BankThenChannel); irrelevant single-channel.
 	ChannelScheme ChannelScheme
+	// Scheduler replaces the design's memory controller with a zoo
+	// member on every channel (default: the design's own controller).
+	// Unknown names are rejected by Validate (wrapping
+	// ErrUnknownScheduler).
+	Scheduler Scheduler
 	// PCT is the priority control token of the GSS hybrid (default 3).
 	PCT int
 	// GSSRouters is the Fig. 8 knob: 0 = all routers run the GSS engine,
@@ -236,7 +300,8 @@ func (c Config) model() string {
 
 // Validate reports whether the configuration can run, without running
 // it. Field errors wrap the package sentinels (ErrUnknownApp,
-// ErrBadGeneration, ErrBadChannels) for errors.Is dispatch.
+// ErrBadGeneration, ErrBadChannels, ErrUnknownScheduler,
+// ErrBadSampleEvery) for errors.Is dispatch.
 func (c Config) Validate() error {
 	_, err := c.toInternal()
 	return err
@@ -272,9 +337,19 @@ func (c Config) toInternal() (system.Config, error) {
 		return system.Config{}, fmt.Errorf("aanoc: %w %d (%s needs a power of two)",
 			ErrBadChannels, c.Channels, c.ChannelScheme)
 	}
+	sched := memctrl.SchedDefault
+	if c.Scheduler != SchedulerDefault && c.Scheduler != "default" {
+		sched, err = memctrl.ParseScheduler(string(c.Scheduler))
+		if err != nil {
+			return system.Config{}, fmt.Errorf("aanoc: %w %q", ErrUnknownScheduler, string(c.Scheduler))
+		}
+	}
+	if c.SampleEvery < 0 {
+		return system.Config{}, fmt.Errorf("aanoc: %w %d", ErrBadSampleEvery, c.SampleEvery)
+	}
 	return system.Config{
 		App: app, Gen: gen, ClockMHz: c.ClockMHz, Design: c.Design,
-		Channels: channels, Scheme: c.ChannelScheme,
+		Channels: channels, Scheme: c.ChannelScheme, Scheduler: sched,
 		PCT: c.PCT, GSSRouters: c.GSSRouters,
 		PriorityDemand:  c.PriorityDemand,
 		VirtualChannels: c.VirtualChannels,

@@ -23,6 +23,7 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
 	"aanoc/internal/mapping"
+	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/prof"
 	"aanoc/internal/system"
@@ -41,6 +42,7 @@ func main() {
 		priority = flag.Bool("priority", false, "serve CPU demand requests as priority packets (Table II mode)")
 		channels = flag.Int("channels", 1, "independent SDRAM channels (needs an app with that many memory ports)")
 		scheme   = flag.String("chan-scheme", "bank-chan", "channel interleaving: bank-chan or chan-bank-xor")
+		schedFlg = flag.String("scheduler", "default", "memory scheduler: default, dpq, regulated or staged")
 		all      = flag.Bool("all", false, "run every design on the selected app/generation")
 		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
 		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
@@ -68,11 +70,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	sched, err := memctrl.ParseScheduler(*schedFlg)
+	if err != nil {
+		fatal(err)
+	}
 	base := system.Config{
 		App: app, Gen: dram.Generation(*gen), ClockMHz: *clock,
 		Cycles: *cycles, Seed: *seed, PCT: *pct,
 		GSSRouters: *gssN, PriorityDemand: *priority,
-		Channels: *channels, Scheme: sch,
+		Channels: *channels, Scheme: sch, Scheduler: sched,
 		SampleEvery: *sample, Checked: *checked,
 	}
 	designs := []system.Design{}

@@ -9,6 +9,7 @@
 //	aanoc-sweep -sweep granularity -gen 2
 //	aanoc-sweep -sweep pagepolicy -gen 2
 //	aanoc-sweep -sweep gss-routers -app sdtv -gen 1 -parallel 8
+//	aanoc-sweep -sweep scheduler -app bluray -gen 2 > sched.csv
 //	aanoc-sweep -sweep pct -json pct.json > pct.csv
 //
 // -json writes each grid point's observability report (internal/obs)
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		sweepName = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers | channels")
+		sweepName = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers | channels | scheduler")
 		appName   = flag.String("app", "bluray", "application model")
 		gen       = flag.Int("gen", 2, "DDR generation")
 		cycles    = flag.Int64("cycles", 120_000, "simulated cycles per point")
@@ -111,6 +112,15 @@ func main() {
 				cfg.GSSRouters = -1
 			}
 			add(fmt.Sprintf("k=%d", k), cfg)
+		}
+	case "scheduler":
+		// One point per zoo member: what the bounded/regulated/staged
+		// guarantees cost against the design's own controller.
+		for _, s := range memctrl.Schedulers() {
+			cfg := base
+			cfg.Design = system.GSSSAGM
+			cfg.Scheduler = s
+			add("sched="+s.String(), cfg)
 		}
 	case "channels":
 		// One point per supported channel count: how much bandwidth each

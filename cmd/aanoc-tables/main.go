@@ -5,7 +5,8 @@
 //	aanoc-tables -table 1 -cycles 500000   # Table I (no priority requests)
 //	aanoc-tables -table 2                  # Table II (priority demand)
 //	aanoc-tables -table 3                  # Table III (STI on DDR3)
-//	aanoc-tables -table all
+//	aanoc-tables -table sched              # scheduler zoo vs GSS+SAGM default
+//	aanoc-tables -table all                # the paper tables (1, 2, 3)
 //	aanoc-tables -table 1 -json rows.json  # machine-readable sidecar
 //
 // -json writes every row — headline metrics plus the per-run
@@ -57,12 +58,18 @@ func main() {
 		name string
 		note string
 		run  func(aanoc.TableOptions) ([]aanoc.Row, error)
+		// format renders the rows; nil selects the paper-table layout
+		// plus the per-design ratio summary.
+		format func([]aanoc.Row) string
 	}
 	drivers := map[string]driver{
-		"1": {"Table I", "no priority memory requests (best-effort demand)", aanoc.TableI},
-		"2": {"Table II", "demand requests served as priority packets", aanoc.TableII},
-		"3": {"Table III", "GSS+SAGM+STI vs GSS+SAGM on DDR III", aanoc.TableIII},
+		"1":     {"Table I", "no priority memory requests (best-effort demand)", aanoc.TableI, nil},
+		"2":     {"Table II", "demand requests served as priority packets", aanoc.TableII, nil},
+		"3":     {"Table III", "GSS+SAGM+STI vs GSS+SAGM on DDR III", aanoc.TableIII, nil},
+		"sched": {"Schedulers", "memory-scheduler zoo vs the GSS+SAGM default", aanoc.TableSchedulers, aanoc.FormatSchedulerRows},
 	}
+	// -table all regenerates the paper's tables; the scheduler grid is an
+	// extension and runs only by name, keeping the default output stable.
 	order := []string{"1", "2", "3"}
 	if *table != "all" {
 		if _, ok := drivers[*table]; !ok {
@@ -81,8 +88,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
 			os.Exit(1)
 		}
-		fmt.Print(aanoc.FormatRows(rows))
-		printRatios(rows)
+		if d.format != nil {
+			fmt.Print(d.format(rows))
+		} else {
+			fmt.Print(aanoc.FormatRows(rows))
+			printRatios(rows)
+		}
 		fmt.Println()
 		sidecar["table"+k] = rows
 		if n := aanoc.CheckedViolations(rows); n > 0 {

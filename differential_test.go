@@ -12,6 +12,7 @@ import (
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/memctrl"
 	"aanoc/internal/system"
 	"aanoc/internal/trace"
 )
@@ -82,6 +83,41 @@ func TestDifferentialReplayAllDesigns(t *testing.T) {
 			t.Errorf("%s: non-positive mean latency %.1f", d, res.LatAll)
 		}
 		results[d] = res
+	}
+
+	// The scheduler zoo on the identical workload, checked: the DPQ's
+	// per-request WCET bound and the regulator's window audit must both
+	// hold on a real captured trace, not just on synthetic unit traffic.
+	for _, s := range memctrl.Schedulers() {
+		if s == memctrl.SchedDefault {
+			continue
+		}
+		res, err := system.Run(system.Config{
+			App: appmodel.BluRay(), Gen: dram.DDR2, Design: system.GSSSAGM,
+			Scheduler: s, Cycles: diffCycles, Seed: 0, PriorityDemand: true,
+			Replay: records, Checked: true,
+		})
+		if err != nil {
+			t.Fatalf("scheduler %s: %v", s, err)
+		}
+		if len(res.Obs.Violations) != 0 {
+			t.Errorf("scheduler %s: violations on replay: %v", s, res.Obs.Violations)
+		}
+		if res.Completed <= 0 {
+			t.Errorf("scheduler %s: completed nothing", s)
+		}
+		if res.Completed > int64(len(records)) {
+			t.Errorf("scheduler %s: completed %d of only %d recorded requests",
+				s, res.Completed, len(records))
+		}
+		if ss := res.Obs.Memory.Scheduler; ss == nil || ss.Name != s.String() {
+			t.Errorf("scheduler %s: report stats %+v", s, ss)
+		} else if s == memctrl.SchedDPQ && ss.WCETChecked < res.Completed {
+			// Every logical completion rides on at least one (SAGM may
+			// split it into several) WCET-verified memory access.
+			t.Errorf("DPQ verified %d WCET deadlines for %d completions",
+				ss.WCETChecked, res.Completed)
+		}
 	}
 
 	// Cross-design orderings on the identical workload (loose versions of

@@ -44,6 +44,8 @@ func TestValidateSentinels(t *testing.T) {
 		{"negative channels", Config{Channels: -1}, ErrBadChannels},
 		{"too many channels", Config{Model: AppBluRay, Channels: 2}, ErrBadChannels},
 		{"xor non-pow2", Config{Model: AppDDTV4, Channels: 3, ChannelScheme: ChannelThenBankXOR}, ErrBadChannels},
+		{"unknown scheduler", Config{Scheduler: "fcfs"}, ErrUnknownScheduler},
+		{"negative sample period", Config{SampleEvery: -1}, ErrBadSampleEvery},
 	}
 	for _, tc := range cases {
 		if err := tc.cfg.Validate(); !errors.Is(err, tc.want) {
@@ -64,10 +66,44 @@ func TestValidateAcceptsRunnableConfigs(t *testing.T) {
 		{Model: AppBluRay2, Channels: 2, Checked: true},
 		{Model: AppDDTV4, Channels: 4, ChannelScheme: ChannelThenBankXOR},
 		{App: "sdtv", Generation: 1},
+		{Scheduler: SchedulerDPQ, Checked: true},
+		{Scheduler: "default"},
 	} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("Validate(%+v) = %v", cfg, err)
 		}
+	}
+}
+
+// TestSchedulerFacade: the zoo through the public API — parse round
+// trip, a checked DPQ run with its per-request WCET verification, and
+// the scheduler identity on the report.
+func TestSchedulerFacade(t *testing.T) {
+	for _, s := range Schedulers() {
+		got, err := ParseScheduler(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseScheduler(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseScheduler("fcfs"); !errors.Is(err, ErrUnknownScheduler) {
+		t.Errorf("ParseScheduler on garbage: %v, want ErrUnknownScheduler", err)
+	}
+	res, err := Run(Config{
+		Scheduler: SchedulerDPQ, Design: GSSSAGM, PriorityDemand: true,
+		Cycles: 15_000, Checked: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(res.Obs.Violations); n != 0 {
+		t.Fatalf("%d checked-mode violations", n)
+	}
+	if res.Obs.Scheduler != "dpq" {
+		t.Errorf("report scheduler %q, want dpq", res.Obs.Scheduler)
+	}
+	ss := res.Obs.Memory.Scheduler
+	if ss == nil || ss.WCETChecked == 0 {
+		t.Fatalf("checked DPQ run verified no WCET deadlines: %+v", ss)
 	}
 }
 

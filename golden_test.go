@@ -18,6 +18,7 @@ import (
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/system"
 )
@@ -85,6 +86,58 @@ func TestGoldenReports(t *testing.T) {
 	}
 }
 
+// TestGoldenSchedulers pins one report per memory-scheduler zoo member
+// under the same scenario as the per-design corpus: the scheduler name
+// and decision-stat schema are part of the pinned bytes.
+func TestGoldenSchedulers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system golden runs")
+	}
+	for _, s := range memctrl.Schedulers() {
+		if s == memctrl.SchedDefault {
+			continue // pinned already by the per-design corpus
+		}
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := goldenConfig(system.GSSSAGM)
+			cfg.Scheduler = s
+			res, err := system.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := res.Obs.WriteJSON(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", "sched-"+s.String()+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("scheduler %s report diverged from %s (%d vs %d bytes); run with -update and review the diff",
+					s, path, buf.Len(), len(want))
+			}
+			rep, err := obs.Parse(want)
+			if err != nil {
+				t.Fatalf("golden report no longer parses: %v", err)
+			}
+			if rep.Scheduler != s.String() {
+				t.Errorf("pinned report names scheduler %q, want %q", rep.Scheduler, s)
+			}
+			if rep.Memory.Scheduler == nil {
+				t.Error("pinned report lacks the scheduler decision stats")
+			}
+		})
+	}
+}
+
 // TestGoldenMultiChannel pins the two-channel report: the scaled
 // Blu-ray app on two SDRAM channels under GSS+SAGM, including the
 // per-channel schema the multi-channel subsystem added.
@@ -125,5 +178,10 @@ func TestGoldenMultiChannel(t *testing.T) {
 	}
 	if len(rep.Memory.Channels) != 2 {
 		t.Errorf("pinned report carries %d channel entries, want 2", len(rep.Memory.Channels))
+	}
+	// The imbalance ratio accompanies every channel breakdown — including
+	// the near-balanced case the old omitempty tag could silently drop.
+	if rep.Memory.Imbalance == nil {
+		t.Error("pinned multi-channel report lacks the imbalance ratio")
 	}
 }

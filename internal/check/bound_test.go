@@ -1,0 +1,187 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/memctrl"
+	"aanoc/internal/noc"
+)
+
+func TestDPQBoundShape(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	b := NewDPQBound(tm, 4, 32)
+	if s8, s32 := b.Service(8), b.Service(32); s32 <= s8 {
+		t.Errorf("Service must grow with beats: S(8)=%d S(32)=%d", s8, s32)
+	}
+	d1 := b.Deadline(100, 1, 0, 8)
+	d2 := b.Deadline(100, 2, 0, 8)
+	d3 := b.Deadline(100, 1, 3, 8)
+	if d2 <= d1 || d3 <= d1 {
+		t.Errorf("Deadline must grow with queue position and occupancy: %d %d %d", d1, d2, d3)
+	}
+	if d1 <= 100 {
+		t.Errorf("deadline %d must lie after admission", d1)
+	}
+	// A deep queue position folds in extra refresh windows.
+	deep := b.Deadline(0, 30, 0, 8)
+	if deep < 30*4*b.Service(32) {
+		t.Errorf("deep deadline %d undercuts raw interference", deep)
+	}
+}
+
+// TestDPQBoundHoldsUnderLoad drives the real arbiter at full tilt and
+// asserts no completion ever crosses its analytic deadline — the bound
+// is sound against the implementation it models.
+func TestDPQBoundHoldsUnderLoad(t *testing.T) {
+	for _, gen := range []struct {
+		g   dram.Generation
+		mhz int
+	}{{dram.DDR1, 200}, {dram.DDR2, 333}, {dram.DDR3, 667}} {
+		tm := dram.MustSpeed(gen.g, gen.mhz)
+		dev := dram.MustNewDevice(tm)
+		const n, maxBeats = 4, 32
+		var c Checker
+		c.Panic = true
+		mon := NewDPQMonitor(&c, NewDPQBound(tm, n, maxBeats), "")
+		d := memctrl.NewDPQ(dev, memctrl.DPQConfig{Requestors: n, QueueDepth: 8},
+			func(memctrl.Completion) {})
+		d.OnAdmit = mon.Admit
+		d.OnComplete = mon.Complete
+		// Adversarial stream: every request conflicts in one bank, mixed
+		// directions, mixed sizes up to maxBeats.
+		var pkts []*noc.Packet
+		for i := int64(0); i < 48; i++ {
+			beats := 8
+			if i%3 == 0 {
+				beats = maxBeats
+			}
+			p := &noc.Packet{
+				ID: i + 1, ParentID: i + 1, Kind: noc.Kind(i % 2), Class: noc.ClassMedia,
+				Addr:  dram.Address{Bank: 0, Row: int(i), Col: 0},
+				Beats: beats, Flits: noc.FlitsForBeats(beats), Splits: 1,
+			}
+			p.SrcCore = int(i) % n
+			pkts = append(pkts, p)
+		}
+		i := 0
+		for now := int64(0); now < 200000; now++ {
+			for i < len(pkts) && d.Offer(pkts[i], now) {
+				i++
+			}
+			d.Tick(now)
+			if i == len(pkts) && !d.Busy() {
+				break
+			}
+		}
+		if d.Busy() {
+			t.Fatalf("%v-%d: arbiter did not drain", gen.g, gen.mhz)
+		}
+		mon.Flush(200000)
+		if mon.Checked != 48 {
+			t.Errorf("%v-%d: checked %d completions, want 48", gen.g, gen.mhz, mon.Checked)
+		}
+	}
+}
+
+func TestDPQMonitorDetectsLateCompletion(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	var c Checker
+	mon := NewDPQMonitor(&c, NewDPQBound(tm, 2, 8), "")
+	mon.Admit(7, 8, 1, 0, 100)
+	dl := mon.B.Deadline(100, 1, 0, 8)
+	mon.Complete(7, dl+1)
+	vs := c.Violations()
+	if len(vs) != 1 || vs[0].Kind != "wcet-bound" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "late by 1") {
+		t.Errorf("detail = %q", vs[0].Detail)
+	}
+}
+
+func TestDPQMonitorFlushReportsStragglers(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	var c Checker
+	mon := NewDPQMonitor(&c, NewDPQBound(tm, 2, 8), "")
+	mon.Admit(1, 8, 1, 0, 0)
+	mon.Admit(2, 8, 1, 0, 1<<40) // deadline beyond the run: legitimate
+	mon.Flush(1 << 30)
+	if n := c.Count(); n != 1 {
+		t.Fatalf("flush violations = %d, want 1 (only the overdue straggler)", n)
+	}
+}
+
+// TestRegulatorMonitorCatchesDisabledGate is the behavioural mutation:
+// a real regulator with its eligibility gate broken (DisableGate) admits
+// past the budget under single-bank pressure, and the monitor — built
+// from the same resolved config a correct controller would honour —
+// must flag it.
+func TestRegulatorMonitorCatchesDisabledGate(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	cfg := memctrl.RegulatorConfig{
+		Cores: 2, QueueDepth: 16, Window: 100_000, Budget: 64,
+		PipelineDepth: 4, Policy: memctrl.OpenPage, DisableGate: true,
+	}
+	var c Checker
+	reg := memctrl.NewRegulator(dev, cfg, func(memctrl.Completion) {})
+	rc := reg.Config()
+	mon := NewRegulatorMonitor(&c, rc.Window, rc.Budget, "")
+	reg.OnAdmit = mon.Admit
+	// One core hammers one bank: 16 requests x 8 beats = 128 beats,
+	// double the 64-beat window budget.
+	var pkts []*noc.Packet
+	for i := int64(0); i < 16; i++ {
+		pkts = append(pkts, &noc.Packet{
+			ID: i + 1, ParentID: i + 1, Kind: noc.Read, Class: noc.ClassMedia,
+			Addr:  dram.Address{Bank: 0, Row: 1, Col: int(i) * 8},
+			Beats: 8, Flits: noc.FlitsForBeats(8), Splits: 1,
+		})
+	}
+	i := 0
+	for now := int64(0); now < 100_000; now++ {
+		for i < len(pkts) && reg.Offer(pkts[i], now) {
+			i++
+		}
+		reg.Tick(now)
+		if i == len(pkts) && !reg.Busy() {
+			break
+		}
+	}
+	if c.Count() == 0 {
+		t.Fatal("monitor missed a gate-disabled regulator exceeding its budget")
+	}
+	if v := c.Violations()[0]; v.Kind != "regulation-window" {
+		t.Errorf("kind = %q", v.Kind)
+	}
+}
+
+func TestRegulatorMonitorAuditsWindows(t *testing.T) {
+	var c Checker
+	mon := NewRegulatorMonitor(&c, 1000, 16, "")
+	mon.Admit(0, 0, 8, 10)
+	mon.Admit(0, 0, 8, 20) // exactly at budget: legal
+	if c.Count() != 0 {
+		t.Fatalf("within-budget admissions flagged: %v", c.Violations())
+	}
+	mon.Admit(0, 0, 1, 30) // 17 > 16: breach
+	if c.Count() != 1 {
+		t.Fatalf("breach not flagged")
+	}
+	if v := c.Violations()[0]; v.Kind != "regulation-window" {
+		t.Errorf("kind = %q", v.Kind)
+	}
+	// The next window starts a fresh ledger.
+	mon.Admit(0, 0, 16, 1500)
+	if c.Count() != 1 {
+		t.Error("window roll should reset usage")
+	}
+	// Distinct banks and cores hold independent budgets.
+	mon.Admit(1, 0, 16, 1600)
+	mon.Admit(0, 1, 16, 1600)
+	if c.Count() != 1 {
+		t.Errorf("independent (core,bank) pairs flagged: %v", c.Violations())
+	}
+}

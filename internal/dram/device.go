@@ -78,7 +78,19 @@ const (
 	FaultSkipTRCD
 	// FaultSkipTFAW drops the four-activate-window check.
 	FaultSkipTFAW
+	// FaultSlowCAS refuses column commands until SlowCASGap cycles after
+	// the previous one. Unlike the Skip faults it keeps every issued
+	// command JEDEC-legal (the gate is strictly tighter than tCCD), so
+	// the shadow timing monitor stays silent — only a latency-bound
+	// monitor (the DPQ WCET check) can detect it. It models a device or
+	// controller that is slow rather than wrong.
+	FaultSlowCAS
 )
+
+// SlowCASGap is the column-to-column spacing FaultSlowCAS enforces —
+// far beyond any analytic worst-case service time, so every queued
+// request behind the first blows through its WCET deadline.
+const SlowCASGap = 2048
 
 // InjectFault arms one legality-rule fault. Test-only: it exists so the
 // mutation smoke test can prove the conformance monitor has teeth.
@@ -400,6 +412,11 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 				return errRefused
 			}
 			return refuse("%s violates tCCD", cmd.Kind)
+		case d.fault == FaultSlowCAS && now < d.lastCAS+SlowCASGap:
+			if !explain {
+				return errRefused
+			}
+			return refuse("%s delayed by injected slow-CAS fault", cmd.Kind)
 		}
 		if cmd.Kind == CmdRead {
 			switch {

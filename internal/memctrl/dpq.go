@@ -1,0 +1,170 @@
+package memctrl
+
+import (
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+// DPQConfig sizes the dynamic-priority-queue arbiter.
+type DPQConfig struct {
+	// Requestors is the number of per-requestor FIFO queues; a packet maps
+	// to queue SrcCore mod Requestors.
+	Requestors int
+	// QueueDepth is the per-requestor buffer depth; a full queue
+	// backpressures the network (the WCET clock starts at admission, so
+	// refusals never consume bound budget).
+	QueueDepth int
+}
+
+// DefaultDPQConfig mirrors the MemMax sizing: enough queues for the
+// paper's core counts and the same 32-entry buffers.
+func DefaultDPQConfig(requestors int) DPQConfig {
+	if requestors < 1 {
+		requestors = 1
+	}
+	return DPQConfig{Requestors: requestors, QueueDepth: 32}
+}
+
+// DPQ is a dynamic-priority-queue arbiter with analytically bounded
+// access latency, after Shah et al.: per-requestor FIFOs served by a
+// rotating priority list (the served requestor drops to the list's tail,
+// so between two grants to one requestor at most Requestors-1 foreign
+// grants interpose). The command pipeline is depth-1, strictly in order,
+// and closed-page — every access pays the worst-case page cost, which is
+// exactly what makes the per-request completion bound closed-form
+// computable from the DDR timing package alone (check.DPQBound). The
+// bound's inputs are reported through OnAdmit; checked mode compares
+// every completion against the derived deadline.
+type DPQ struct {
+	cfg    DPQConfig
+	eng    *engine
+	queues [][]*noc.Packet
+	// order is the rotation list: queues are scanned in this order and a
+	// served requestor moves to the tail.
+	order []int
+
+	// OnAdmit, when set, observes every accepted request with the facts
+	// the WCET bound is computed from: the packet ID and beat count, the
+	// request's 1-based position in its own queue, the engine occupancy
+	// (requests admitted to the pipeline but not yet retired), and the
+	// admission cycle. The controller reports facts only; the bound
+	// arithmetic lives in internal/check.
+	OnAdmit func(id int64, beats, queuePos, engineOcc int, now int64)
+	// OnComplete, when set, observes every completion before the
+	// downstream callback (which may recycle the packet).
+	OnComplete func(id int64, at int64)
+
+	// Stats counts scheduler decisions for the observability report.
+	Stats struct {
+		Grants     int64
+		MaxBacklog int
+	}
+}
+
+// NewDPQ builds the arbiter. The pipeline is fixed at depth 1 with the
+// closed-page policy — both are load-bearing for the analytic bound.
+func NewDPQ(dev *dram.Device, cfg DPQConfig, onDone func(Completion)) *DPQ {
+	if cfg.Requestors < 1 {
+		cfg.Requestors = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	d := &DPQ{
+		cfg:    cfg,
+		queues: make([][]*noc.Packet, cfg.Requestors),
+		order:  make([]int, cfg.Requestors),
+	}
+	for i := range d.order {
+		d.order[i] = i
+	}
+	d.eng = newEngine(dev, ClosedPage, 1, func(c Completion) {
+		if d.OnComplete != nil {
+			d.OnComplete(c.Pkt.ID, c.At)
+		}
+		onDone(c)
+	})
+	return d
+}
+
+// queueOf maps a packet to its requestor queue.
+func (d *DPQ) queueOf(p *noc.Packet) int {
+	q := p.SrcCore % d.cfg.Requestors
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+// Offer implements Controller: enqueue into the requestor's FIFO,
+// refusing when it is full. Acceptance starts the request's WCET clock.
+func (d *DPQ) Offer(p *noc.Packet, now int64) bool {
+	q := d.queueOf(p)
+	if len(d.queues[q]) >= d.cfg.QueueDepth {
+		return false
+	}
+	d.queues[q] = append(d.queues[q], p)
+	if n := d.Backlog(); n > d.Stats.MaxBacklog {
+		d.Stats.MaxBacklog = n
+	}
+	if d.OnAdmit != nil {
+		occ := len(d.eng.inflight) + len(d.eng.draining)
+		d.OnAdmit(p.ID, p.Beats, len(d.queues[q]), occ, now)
+	}
+	return true
+}
+
+// Tick implements Controller: grant the highest-priority backlogged
+// requestor into the (depth-1) pipeline, rotate it to the tail, then
+// drive the pipeline.
+func (d *DPQ) Tick(now int64) {
+	for !d.eng.admitBlocked() && d.eng.canAdmit() {
+		gi := -1
+		for i, q := range d.order {
+			if len(d.queues[q]) > 0 {
+				gi = i
+				break
+			}
+		}
+		if gi < 0 {
+			break
+		}
+		q := d.order[gi]
+		p := d.queues[q][0]
+		d.queues[q] = d.queues[q][1:]
+		d.eng.admit(p)
+		d.Stats.Grants++
+		// Rotate: the served requestor becomes lowest priority.
+		copy(d.order[gi:], d.order[gi+1:])
+		d.order[len(d.order)-1] = q
+	}
+	d.eng.tick(now)
+}
+
+// Busy implements Controller.
+func (d *DPQ) Busy() bool { return d.eng.busy() || d.Backlog() > 0 }
+
+// NextEvent implements Controller: backlogged queues keep the arbiter
+// granting every cycle; otherwise the pipeline decides.
+func (d *DPQ) NextEvent(now int64) int64 {
+	if d.Backlog() > 0 {
+		return now + 1
+	}
+	return d.eng.nextEvent(now)
+}
+
+// Backlog reports the total queued requests across requestors.
+func (d *DPQ) Backlog() int {
+	n := 0
+	for _, q := range d.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// CmdCycles exposes command-bus activity for the power model.
+func (d *DPQ) CmdCycles() int64 { return d.eng.CmdCycles }
+
+// Config returns the resolved (clamped) configuration — the WCET bound
+// monitor derives its requestor count from it, so the two cannot drift.
+func (d *DPQ) Config() DPQConfig { return d.cfg }

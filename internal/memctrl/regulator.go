@@ -1,0 +1,231 @@
+package memctrl
+
+import (
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+// RegulatorConfig sizes the per-bank bandwidth regulator.
+type RegulatorConfig struct {
+	// Cores is the number of regulated requestors; a packet maps to
+	// regulator slot SrcCore mod Cores.
+	Cores int
+	// QueueDepth is the per-core request buffer depth.
+	QueueDepth int
+	// Window is the regulation window in memory cycles; per-(core,bank)
+	// usage clears at every multiple of it.
+	Window int64
+	// Budget is the beat budget each (core, bank) pair may consume per
+	// window. A head that would exceed it waits for the next window. The
+	// constructor clamps Budget to at least MinBudget so a single request
+	// can always fit in a fresh window (otherwise it could never become
+	// eligible and the controller would deadlock).
+	Budget int64
+	// MinBudget is the largest single-request beat count the workload can
+	// present (the system computes it from the resolved app model).
+	MinBudget int64
+	// PipelineDepth is the command-pipeline window behind the regulator.
+	PipelineDepth int
+	// Policy is the page policy of the command pipeline.
+	Policy PagePolicy
+
+	// DisableGate bypasses the eligibility check while still charging
+	// usage — admissions can then exceed the budget. Test-only: it exists
+	// so the mutation harness can prove the checked-mode regulation
+	// monitor detects a broken regulator.
+	DisableGate bool
+}
+
+// DefaultRegulatorConfig mirrors the MemMax buffer sizing with a
+// regulation window long enough to amortize a refresh.
+func DefaultRegulatorConfig(cores int) RegulatorConfig {
+	if cores < 1 {
+		cores = 1
+	}
+	return RegulatorConfig{
+		Cores: cores, QueueDepth: 32,
+		Window: 1024, Budget: 256, MinBudget: 1,
+		PipelineDepth: 4, Policy: OpenPage,
+	}
+}
+
+// Regulator is a per-bank bandwidth regulator after Sullivan et al.:
+// every (core, bank) pair holds a beat budget per fixed window, charged
+// at admission, and a head whose grant would exceed its budget is simply
+// ineligible until the window rolls — so no core can squeeze another
+// core's share of any bank, regardless of its arrival rate. Eligible
+// heads are served round-robin into the shared command pipeline. The
+// regulation invariant (charged usage never exceeds the budget in any
+// window) is reported through OnAdmit and shadow-audited by checked mode
+// (check.RegulatorMonitor).
+type Regulator struct {
+	cfg    RegulatorConfig
+	eng    *engine
+	queues [][]*noc.Packet
+	// usage[core][bank] counts beats charged in the current window.
+	usage     [][]int64
+	curWindow int64
+	rotate    int
+
+	// OnAdmit, when set, observes every admission with the facts the
+	// regulation invariant is audited from.
+	OnAdmit func(core, bank, beats int, now int64)
+
+	// Stats counts scheduler decisions for the observability report.
+	Stats struct {
+		Grants int64
+		// Throttled counts grant opportunities lost to regulation: cycles
+		// in which at least one head was backlogged but every backlogged
+		// head was over budget.
+		Throttled   int64
+		WindowRolls int64
+	}
+}
+
+// NewRegulator builds the regulator over a device. Budget is clamped to
+// MinBudget (and both to 1) so admission can always make progress.
+func NewRegulator(dev *dram.Device, cfg RegulatorConfig, onDone func(Completion)) *Regulator {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	if cfg.MinBudget < 1 {
+		cfg.MinBudget = 1
+	}
+	if cfg.Budget < cfg.MinBudget {
+		cfg.Budget = cfg.MinBudget
+	}
+	if cfg.PipelineDepth < 1 {
+		cfg.PipelineDepth = 1
+	}
+	r := &Regulator{
+		cfg:    cfg,
+		eng:    newEngine(dev, cfg.Policy, cfg.PipelineDepth, onDone),
+		queues: make([][]*noc.Packet, cfg.Cores),
+		usage:  make([][]int64, cfg.Cores),
+	}
+	r.eng.ooo = true
+	banks := r.eng.t.Banks
+	for i := range r.usage {
+		r.usage[i] = make([]int64, banks)
+	}
+	return r
+}
+
+// coreOf maps a packet to its regulator slot.
+func (r *Regulator) coreOf(p *noc.Packet) int {
+	c := p.SrcCore % r.cfg.Cores
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Offer implements Controller: enqueue into the core's FIFO, refusing
+// when it is full. Regulation happens at grant time, not admission — a
+// queued request holds no budget until granted.
+func (r *Regulator) Offer(p *noc.Packet, now int64) bool {
+	c := r.coreOf(p)
+	if len(r.queues[c]) >= r.cfg.QueueDepth {
+		return false
+	}
+	r.queues[c] = append(r.queues[c], p)
+	return true
+}
+
+// rollWindow clears per-(core,bank) usage at window boundaries.
+func (r *Regulator) rollWindow(now int64) {
+	w := now / r.cfg.Window
+	if w == r.curWindow {
+		return
+	}
+	r.curWindow = w
+	r.Stats.WindowRolls++
+	for _, u := range r.usage {
+		for b := range u {
+			u[b] = 0
+		}
+	}
+}
+
+// eligible reports whether granting p for core c fits the core's
+// per-bank budget in the current window.
+func (r *Regulator) eligible(c int, p *noc.Packet) bool {
+	if r.cfg.DisableGate {
+		return true
+	}
+	return r.usage[c][p.Addr.Bank]+int64(p.Beats) <= r.cfg.Budget
+}
+
+// Tick implements Controller: roll the regulation window, grant eligible
+// heads round-robin into the pipeline, then drive the pipeline.
+func (r *Regulator) Tick(now int64) {
+	r.rollWindow(now)
+	for !r.eng.admitBlocked() && r.eng.canAdmit() {
+		granted, backlogged := false, false
+		for i := 0; i < r.cfg.Cores; i++ {
+			c := (r.rotate + i) % r.cfg.Cores
+			if len(r.queues[c]) == 0 {
+				continue
+			}
+			backlogged = true
+			p := r.queues[c][0]
+			if !r.eligible(c, p) {
+				continue
+			}
+			r.queues[c] = r.queues[c][1:]
+			r.usage[c][p.Addr.Bank] += int64(p.Beats)
+			if r.OnAdmit != nil {
+				r.OnAdmit(c, p.Addr.Bank, p.Beats, now)
+			}
+			r.eng.admit(p)
+			r.Stats.Grants++
+			r.rotate = (c + 1) % r.cfg.Cores
+			granted = true
+			break
+		}
+		if !granted {
+			if backlogged {
+				r.Stats.Throttled++
+			}
+			break
+		}
+	}
+	r.eng.tick(now)
+}
+
+// Busy implements Controller.
+func (r *Regulator) Busy() bool { return r.eng.busy() || r.Backlog() > 0 }
+
+// NextEvent implements Controller: backlogged queues keep the regulator
+// arbitrating every cycle (a throttled head becomes eligible at the next
+// window roll, which now+1 stepping reaches conservatively); otherwise
+// the pipeline decides.
+func (r *Regulator) NextEvent(now int64) int64 {
+	if r.Backlog() > 0 {
+		return now + 1
+	}
+	return r.eng.nextEvent(now)
+}
+
+// Backlog reports the total queued requests across cores.
+func (r *Regulator) Backlog() int {
+	n := 0
+	for _, q := range r.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// CmdCycles exposes command-bus activity for the power model.
+func (r *Regulator) CmdCycles() int64 { return r.eng.CmdCycles }
+
+// Config returns the resolved (clamped) configuration — the regulation
+// monitor derives its window and budget from it, so the two cannot
+// drift.
+func (r *Regulator) Config() RegulatorConfig { return r.cfg }

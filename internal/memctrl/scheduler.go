@@ -1,0 +1,78 @@
+package memctrl
+
+import "fmt"
+
+// Scheduler selects the memory-scheduler family a channel's controller
+// uses. The zero value keeps the paper's pairing (MemMax for the
+// conventional designs, the lightweight Simple controller for the
+// SDRAM-aware ones); the non-default members are the related-work
+// schedulers ROADMAP item 2 names, each with a runtime-verifiable
+// guarantee:
+//
+//   - SchedDPQ — a Dynamic-Priority-Queue arbiter in the spirit of Shah
+//     et al.: per-requestor FIFO queues served by a rotating round-robin
+//     list over a depth-1 closed-page pipeline, giving every request a
+//     closed-form worst-case completion bound that checked mode asserts
+//     per request (see internal/check.DPQBound).
+//
+//   - SchedRegulated — per-bank bandwidth regulation after Sullivan et
+//     al.: each core carries a per-bank beat budget per fixed window,
+//     charged at admission; an over-budget head is ineligible until the
+//     window rolls. Checked mode shadow-audits the regulation invariant.
+//
+//   - SchedStaged — a staged heterogeneous scheduler in the spirit of
+//     SMS (Ausavarungnirun et al.): requestors are classified by
+//     outstanding-request intensity, and light (latency-sensitive) cores
+//     are granted ahead of heavy (bandwidth-intensive) ones.
+type Scheduler int
+
+const (
+	// SchedDefault keeps the per-design controller from the paper.
+	SchedDefault Scheduler = iota
+	// SchedDPQ is the bounded-latency dynamic-priority-queue arbiter.
+	SchedDPQ
+	// SchedRegulated is the per-bank bandwidth regulator.
+	SchedRegulated
+	// SchedStaged is the intensity-staged heterogeneous scheduler.
+	SchedStaged
+
+	numSchedulers
+)
+
+// String names the scheduler as the CLIs spell it.
+func (s Scheduler) String() string {
+	switch s {
+	case SchedDefault:
+		return "default"
+	case SchedDPQ:
+		return "dpq"
+	case SchedRegulated:
+		return "regulated"
+	case SchedStaged:
+		return "staged"
+	default:
+		return fmt.Sprintf("Scheduler(%d)", int(s))
+	}
+}
+
+// ParseScheduler inverts String.
+func ParseScheduler(s string) (Scheduler, error) {
+	for sc := SchedDefault; sc < numSchedulers; sc++ {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("memctrl: unknown scheduler %q", s)
+}
+
+// Schedulers lists all members in declaration order.
+func Schedulers() []Scheduler {
+	out := make([]Scheduler, 0, int(numSchedulers))
+	for sc := SchedDefault; sc < numSchedulers; sc++ {
+		out = append(out, sc)
+	}
+	return out
+}
+
+// Valid reports whether s names a member.
+func (s Scheduler) Valid() bool { return s >= SchedDefault && s < numSchedulers }

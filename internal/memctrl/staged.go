@@ -1,0 +1,189 @@
+package memctrl
+
+import (
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+// StagedConfig sizes the staged heterogeneous scheduler.
+type StagedConfig struct {
+	// Cores is the number of classified requestors; a packet maps to slot
+	// SrcCore mod Cores.
+	Cores int
+	// QueueDepth is the per-core request buffer depth.
+	QueueDepth int
+	// Threshold is the outstanding-request count above which a core is
+	// classified bandwidth-intensive ("heavy"). Outstanding counts
+	// requests admitted but not yet completed at the device.
+	Threshold int
+	// PipelineDepth is the command-pipeline window behind the scheduler.
+	PipelineDepth int
+	// Policy is the page policy of the command pipeline.
+	Policy PagePolicy
+}
+
+// DefaultStagedConfig mirrors the MemMax buffer sizing with the SMS-style
+// intensity threshold.
+func DefaultStagedConfig(cores int) StagedConfig {
+	if cores < 1 {
+		cores = 1
+	}
+	return StagedConfig{
+		Cores: cores, QueueDepth: 32, Threshold: 4,
+		PipelineDepth: 4, Policy: OpenPage,
+	}
+}
+
+// Staged is a staged heterogeneous scheduler in the spirit of SMS
+// (Ausavarungnirun et al.): requestors are classified by their
+// outstanding-request intensity — a core with more than Threshold
+// requests in flight is bandwidth-intensive ("heavy"), the rest are
+// latency-sensitive ("light") — and the grant stage serves light heads
+// round-robin before any heavy head. Heavy cores still drain round-robin
+// among themselves, so classification shifts latency, not liveness: a
+// heavy core's backlog completing moves it back to the light class.
+type Staged struct {
+	cfg    StagedConfig
+	eng    *engine
+	queues [][]*noc.Packet
+	// outstanding[c] counts core c's requests admitted but not completed.
+	outstanding []int
+	heavy       []bool
+	rotate      int
+
+	// Stats counts scheduler decisions for the observability report.
+	Stats struct {
+		LightGrants       int64
+		HeavyGrants       int64
+		Reclassifications int64
+	}
+}
+
+// NewStaged builds the staged scheduler over a device.
+func NewStaged(dev *dram.Device, cfg StagedConfig, onDone func(Completion)) *Staged {
+	if cfg.Cores < 1 {
+		cfg.Cores = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1
+	}
+	if cfg.Threshold < 1 {
+		cfg.Threshold = 1
+	}
+	if cfg.PipelineDepth < 1 {
+		cfg.PipelineDepth = 1
+	}
+	s := &Staged{
+		cfg:         cfg,
+		queues:      make([][]*noc.Packet, cfg.Cores),
+		outstanding: make([]int, cfg.Cores),
+		heavy:       make([]bool, cfg.Cores),
+	}
+	s.eng = newEngine(dev, cfg.Policy, cfg.PipelineDepth, func(c Completion) {
+		// The packet is still valid here; the downstream callback may
+		// recycle it.
+		core := s.coreOf(c.Pkt)
+		if s.outstanding[core] > 0 {
+			s.outstanding[core]--
+		}
+		s.reclassify(core)
+		onDone(c)
+	})
+	s.eng.ooo = true
+	return s
+}
+
+// coreOf maps a packet to its classification slot.
+func (s *Staged) coreOf(p *noc.Packet) int {
+	c := p.SrcCore % s.cfg.Cores
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// reclassify re-derives a core's intensity class from its outstanding
+// count, counting flips.
+func (s *Staged) reclassify(c int) {
+	h := s.outstanding[c] > s.cfg.Threshold
+	if h != s.heavy[c] {
+		s.heavy[c] = h
+		s.Stats.Reclassifications++
+	}
+}
+
+// Offer implements Controller: enqueue into the core's FIFO, refusing
+// when it is full; admission raises the core's outstanding count (and
+// possibly its class).
+func (s *Staged) Offer(p *noc.Packet, now int64) bool {
+	c := s.coreOf(p)
+	if len(s.queues[c]) >= s.cfg.QueueDepth {
+		return false
+	}
+	s.queues[c] = append(s.queues[c], p)
+	s.outstanding[c]++
+	s.reclassify(c)
+	return true
+}
+
+// Tick implements Controller: grant light heads round-robin, then heavy
+// heads, then drive the pipeline.
+func (s *Staged) Tick(now int64) {
+	for !s.eng.admitBlocked() && s.eng.canAdmit() {
+		c := s.pick(false)
+		light := true
+		if c < 0 {
+			c = s.pick(true)
+			light = false
+		}
+		if c < 0 {
+			break
+		}
+		p := s.queues[c][0]
+		s.queues[c] = s.queues[c][1:]
+		s.eng.admit(p)
+		if light {
+			s.Stats.LightGrants++
+		} else {
+			s.Stats.HeavyGrants++
+		}
+		s.rotate = (c + 1) % s.cfg.Cores
+	}
+	s.eng.tick(now)
+}
+
+// pick returns the next backlogged core of the wanted class in
+// round-robin order, or -1.
+func (s *Staged) pick(wantHeavy bool) int {
+	for i := 0; i < s.cfg.Cores; i++ {
+		c := (s.rotate + i) % s.cfg.Cores
+		if len(s.queues[c]) > 0 && s.heavy[c] == wantHeavy {
+			return c
+		}
+	}
+	return -1
+}
+
+// Busy implements Controller.
+func (s *Staged) Busy() bool { return s.eng.busy() || s.Backlog() > 0 }
+
+// NextEvent implements Controller: backlogged queues keep the grant
+// stage arbitrating every cycle; otherwise the pipeline decides.
+func (s *Staged) NextEvent(now int64) int64 {
+	if s.Backlog() > 0 {
+		return now + 1
+	}
+	return s.eng.nextEvent(now)
+}
+
+// Backlog reports the total queued requests across cores.
+func (s *Staged) Backlog() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// CmdCycles exposes command-bus activity for the power model.
+func (s *Staged) CmdCycles() int64 { return s.eng.CmdCycles }

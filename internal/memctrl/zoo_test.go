@@ -1,0 +1,303 @@
+package memctrl
+
+import (
+	"testing"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/noc"
+)
+
+func TestSchedulerStringParseRoundTrip(t *testing.T) {
+	for _, sc := range Schedulers() {
+		got, err := ParseScheduler(sc.String())
+		if err != nil || got != sc {
+			t.Errorf("ParseScheduler(%q) = %v, %v", sc.String(), got, err)
+		}
+		if !sc.Valid() {
+			t.Errorf("%v should be valid", sc)
+		}
+	}
+	if _, err := ParseScheduler("bogus"); err == nil {
+		t.Error("ParseScheduler should reject unknown names")
+	}
+	if Scheduler(99).Valid() {
+		t.Error("Scheduler(99) should be invalid")
+	}
+}
+
+func TestDPQDrainsAndRotates(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	var done []Completion
+	d := NewDPQ(dev, DPQConfig{Requestors: 4, QueueDepth: 8}, func(c Completion) { done = append(done, c) })
+	var pkts []*noc.Packet
+	for i := int64(0); i < 16; i++ {
+		p := req(i+1, int(i)%4, int(i/4), 0, noc.Kind(i%2), 8, false)
+		p.SrcCore = int(i) % 4
+		pkts = append(pkts, p)
+	}
+	drive(t, d, pkts, &done, 20000)
+	if len(done) != 16 {
+		t.Fatalf("completions = %d, want 16", len(done))
+	}
+	if d.Stats.Grants != 16 {
+		t.Errorf("grants = %d, want 16", d.Stats.Grants)
+	}
+	// Closed page: every access auto-precharges, no explicit PRE needed.
+	if st := dev.Stats(); st.Precharges != 0 || st.AutoPre == 0 {
+		t.Errorf("closed-page stats = %+v", st)
+	}
+}
+
+func TestDPQRotationBoundsInterference(t *testing.T) {
+	// With N requestors and rotation to the tail after every grant, a
+	// request at own-queue position 1 must be granted within N grants.
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	const n = 4
+	var grants []int64
+	d := NewDPQ(dev, DPQConfig{Requestors: n, QueueDepth: 8}, func(c Completion) {
+		grants = append(grants, c.Pkt.ID)
+	})
+	// Flood cores 0..2 with 4 requests each, then one request from core 3.
+	var pkts []*noc.Packet
+	id := int64(1)
+	for i := 0; i < 4; i++ {
+		for core := 0; core < n-1; core++ {
+			p := req(id, core, i, 0, noc.Read, 8, false)
+			p.SrcCore = core
+			pkts = append(pkts, p)
+			id++
+		}
+	}
+	victim := req(id, n-1, 0, 0, noc.Read, 8, false)
+	victim.SrcCore = n - 1
+	pkts = append(pkts, victim)
+	var done []Completion
+	drive(t, d, pkts, &done, 40000)
+	pos := -1
+	for i, g := range grants {
+		if g == victim.ID {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		t.Fatal("victim never completed")
+	}
+	// Victim is at position 1 of its own queue: at most n-1 foreign grants
+	// interpose, so it completes within the first n grants.
+	if pos >= n {
+		t.Errorf("victim completed as grant %d, rotation bound is %d", pos+1, n)
+	}
+}
+
+func TestDPQAdmitHookReportsFacts(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	d := NewDPQ(dev, DPQConfig{Requestors: 2, QueueDepth: 4}, func(Completion) {})
+	type admit struct {
+		id         int64
+		beats, pos int
+		occ        int
+		now        int64
+	}
+	var admits []admit
+	var completes []int64
+	d.OnAdmit = func(id int64, beats, queuePos, engineOcc int, now int64) {
+		admits = append(admits, admit{id, beats, queuePos, engineOcc, now})
+	}
+	d.OnComplete = func(id int64, at int64) { completes = append(completes, id) }
+	a := req(1, 0, 1, 0, noc.Read, 8, false)
+	b := req(2, 0, 2, 0, noc.Read, 16, false)
+	a.SrcCore, b.SrcCore = 0, 0
+	if !d.Offer(a, 5) || !d.Offer(b, 5) {
+		t.Fatal("offers refused")
+	}
+	if len(admits) != 2 {
+		t.Fatalf("admits = %d, want 2", len(admits))
+	}
+	if admits[0] != (admit{1, 8, 1, 0, 5}) {
+		t.Errorf("first admit = %+v", admits[0])
+	}
+	if admits[1] != (admit{2, 16, 2, 0, 5}) {
+		t.Errorf("second admit = %+v", admits[1])
+	}
+	for now := int64(5); now < 600; now++ {
+		d.Tick(now)
+	}
+	if len(completes) != 2 || completes[0] != 1 || completes[1] != 2 {
+		t.Fatalf("completes = %v, want [1 2]", completes)
+	}
+}
+
+func TestDPQBackpressureAndNextEvent(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	d := NewDPQ(dev, DPQConfig{Requestors: 1, QueueDepth: 2}, func(Completion) {})
+	if d.NextEvent(10) <= 10 {
+		t.Fatal("idle NextEvent must be in the future")
+	}
+	if !d.Offer(req(1, 0, 1, 0, noc.Read, 8, false), 0) || !d.Offer(req(2, 0, 2, 0, noc.Read, 8, false), 0) {
+		t.Fatal("offers refused")
+	}
+	if d.Offer(req(3, 0, 3, 0, noc.Read, 8, false), 0) {
+		t.Fatal("third offer should be refused (depth 2)")
+	}
+	if d.NextEvent(0) != 1 {
+		t.Fatalf("backlogged NextEvent = %d, want now+1", d.NextEvent(0))
+	}
+}
+
+func TestRegulatorEnforcesBudget(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	cfg := RegulatorConfig{
+		Cores: 2, QueueDepth: 32, Window: 2000, Budget: 16, MinBudget: 8,
+		PipelineDepth: 4, Policy: OpenPage,
+	}
+	var done []Completion
+	r := NewRegulator(dev, cfg, func(c Completion) { done = append(done, c) })
+	// Shadow-audit the invariant through the hook.
+	usage := map[[2]int]int64{}
+	window := int64(0)
+	r.OnAdmit = func(core, bank, beats int, now int64) {
+		if w := now / cfg.Window; w != window {
+			window = w
+			usage = map[[2]int]int64{}
+		}
+		k := [2]int{core, bank}
+		usage[k] += int64(beats)
+		if usage[k] > cfg.Budget {
+			t.Errorf("core %d bank %d used %d beats in window %d, budget %d",
+				core, bank, usage[k], window, cfg.Budget)
+		}
+	}
+	// Core 0 hammers bank 0 (same row: no conflict cost), core 1 spreads.
+	var pkts []*noc.Packet
+	for i := int64(0); i < 8; i++ {
+		p := req(i+1, 0, 1, int(i)*8, noc.Read, 8, false)
+		p.SrcCore = 0
+		pkts = append(pkts, p)
+	}
+	for i := int64(8); i < 12; i++ {
+		p := req(i+1, int(i)%4, 1, 0, noc.Read, 8, false)
+		p.SrcCore = 1
+		pkts = append(pkts, p)
+	}
+	drive(t, r, pkts, &done, 40000)
+	if len(done) != 12 {
+		t.Fatalf("completions = %d, want 12", len(done))
+	}
+	// 64 beats against a 16-beat budget needs at least 3 window rolls.
+	if r.Stats.WindowRolls < 3 {
+		t.Errorf("window rolls = %d, want >= 3", r.Stats.WindowRolls)
+	}
+	if r.Stats.Throttled == 0 {
+		t.Error("hammering one bank past its budget should throttle")
+	}
+}
+
+func TestRegulatorDisableGateExceedsBudget(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	cfg := RegulatorConfig{
+		Cores: 1, QueueDepth: 32, Window: 100000, Budget: 8, MinBudget: 8,
+		PipelineDepth: 4, Policy: OpenPage, DisableGate: true,
+	}
+	var done []Completion
+	r := NewRegulator(dev, cfg, func(c Completion) { done = append(done, c) })
+	over := false
+	var charged int64
+	r.OnAdmit = func(core, bank, beats int, now int64) {
+		charged += int64(beats)
+		if charged > cfg.Budget {
+			over = true
+		}
+	}
+	var pkts []*noc.Packet
+	for i := int64(0); i < 4; i++ {
+		pkts = append(pkts, req(i+1, 0, 1, int(i)*8, noc.Read, 8, false))
+	}
+	drive(t, r, pkts, &done, 20000)
+	if !over {
+		t.Error("DisableGate should allow the budget to be exceeded (mutation hook)")
+	}
+}
+
+func TestRegulatorBudgetClampedToMinBudget(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	cfg := RegulatorConfig{Cores: 1, QueueDepth: 4, Window: 1000, Budget: 4, MinBudget: 32, PipelineDepth: 2}
+	var done []Completion
+	r := NewRegulator(dev, cfg, func(c Completion) { done = append(done, c) })
+	// A 32-beat request would deadlock against the raw budget of 4.
+	p := req(1, 0, 1, 0, noc.Read, 32, false)
+	drive(t, r, []*noc.Packet{p}, &done, 20000)
+	if len(done) != 1 {
+		t.Fatalf("oversized request never completed: budget clamp broken")
+	}
+}
+
+func TestStagedServesLightBeforeHeavy(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR2, 333)
+	dev := dram.MustNewDevice(tm)
+	cfg := StagedConfig{Cores: 2, QueueDepth: 32, Threshold: 2, PipelineDepth: 1, Policy: OpenPage}
+	var done []Completion
+	s := NewStaged(dev, cfg, func(c Completion) { done = append(done, c) })
+	// Core 0 is heavy (6 outstanding > threshold 2); core 1 offers one.
+	var pkts []*noc.Packet
+	for i := int64(0); i < 6; i++ {
+		p := req(i+1, int(i)%4, 1, 0, noc.Read, 8, false)
+		p.SrcCore = 0
+		pkts = append(pkts, p)
+	}
+	light := req(7, 0, 1, 0, noc.Read, 8, false)
+	light.SrcCore = 1
+	for _, p := range pkts {
+		if !s.Offer(p, 0) {
+			t.Fatal("offer refused")
+		}
+	}
+	if !s.Offer(light, 0) {
+		t.Fatal("light offer refused")
+	}
+	for now := int64(0); now < 4000 && len(done) < 7; now++ {
+		s.Tick(now)
+	}
+	if len(done) != 7 {
+		t.Fatalf("completions = %d, want 7", len(done))
+	}
+	// The light core's request (offered last) must be granted first.
+	if done[0].Pkt.ID != 7 {
+		t.Errorf("first completion = %d, want the light core's request 7", done[0].Pkt.ID)
+	}
+	if s.Stats.LightGrants == 0 || s.Stats.HeavyGrants == 0 {
+		t.Errorf("grants = %+v, want both classes exercised", s.Stats)
+	}
+	if s.Stats.Reclassifications == 0 {
+		t.Error("core 0 should have been reclassified heavy (and back)")
+	}
+}
+
+func TestStagedDrainsMixedTraffic(t *testing.T) {
+	tm := dram.MustSpeed(dram.DDR3, 667)
+	dev := dram.MustNewDevice(tm)
+	var done []Completion
+	s := NewStaged(dev, DefaultStagedConfig(7), func(c Completion) { done = append(done, c) })
+	var pkts []*noc.Packet
+	for i := int64(0); i < 40; i++ {
+		p := req(i+1, int(i)%8, int(i%5), 0, noc.Kind(i%2), 8, false)
+		p.SrcCore = int(i % 7)
+		pkts = append(pkts, p)
+	}
+	drive(t, s, pkts, &done, 20000)
+	if len(done) != 40 {
+		t.Fatalf("completions = %d, want 40", len(done))
+	}
+	for c := range s.outstanding {
+		if s.outstanding[c] != 0 {
+			t.Errorf("core %d outstanding = %d after drain", c, s.outstanding[c])
+		}
+	}
+}

@@ -34,6 +34,10 @@ type Report struct {
 	Cycles   int64  `json:"cycles"`
 	Warmup   int64  `json:"warmup"`
 	Seed     uint64 `json:"seed"`
+	// Scheduler names the memory-scheduler override the run used; absent
+	// for the default per-design controller, so default sidecars stay
+	// byte-identical to the pre-zoo schema.
+	Scheduler string `json:"scheduler,omitempty"`
 
 	// Request accounting over the whole run.
 	Generated int64 `json:"generated"`
@@ -207,9 +211,40 @@ type Memory struct {
 	Channels []ChannelStat `json:"channels,omitempty"`
 	// Imbalance is the load-imbalance factor over the channels' data
 	// cycles: busiest channel / mean channel, so 1.0 is perfectly
-	// balanced and Channels-many means one channel took everything.
-	// Absent single-channel or when no data moved.
-	Imbalance float64 `json:"imbalance,omitempty"`
+	// balanced and Channels-many means one channel took everything
+	// (0 when no data moved at all). Emitted whenever Channels is —
+	// as a pointer, so a perfectly balanced (or idle) multi-channel run
+	// stays distinguishable from a single-channel one, which omitempty
+	// on a plain float64 used to erase. Absent single-channel.
+	Imbalance *float64 `json:"imbalance,omitempty"`
+	// Scheduler is the per-scheduler decision breakdown of a run using a
+	// non-default memory scheduler (absent otherwise).
+	Scheduler *SchedulerStat `json:"scheduler,omitempty"`
+}
+
+// SchedulerStat is the decision breakdown of a zoo memory scheduler.
+// Only the fields of the selected scheduler are populated; the rest
+// stay at their omitted zero values.
+type SchedulerStat struct {
+	// Name is the scheduler's CLI spelling ("dpq", "regulated", "staged").
+	Name string `json:"name"`
+	// Grants counts requests granted into the command pipeline (for the
+	// staged scheduler, the light and heavy grants combined).
+	Grants int64 `json:"grants,omitempty"`
+	// MaxBacklog is the DPQ arbiter's queued-request high-water mark.
+	MaxBacklog int `json:"maxBacklog,omitempty"`
+	// WCETChecked counts completions compared against the DPQ analytic
+	// bound (checked runs only).
+	WCETChecked int64 `json:"wcetChecked,omitempty"`
+	// Throttled counts regulator grant opportunities lost to an exhausted
+	// budget; WindowRolls the regulation windows opened.
+	Throttled   int64 `json:"throttled,omitempty"`
+	WindowRolls int64 `json:"windowRolls,omitempty"`
+	// LightGrants/HeavyGrants/Reclassifications are the staged
+	// scheduler's class decisions.
+	LightGrants       int64 `json:"lightGrants,omitempty"`
+	HeavyGrants       int64 `json:"heavyGrants,omitempty"`
+	Reclassifications int64 `json:"reclassifications,omitempty"`
 }
 
 // ChannelStat is one SDRAM channel of a multi-channel run: its mesh
@@ -290,8 +325,14 @@ func (r *Report) Validate() error {
 		return fmt.Errorf("obs: report has no request-mesh links")
 	case len(r.Memory.Banks) == 0:
 		return fmt.Errorf("obs: report has no per-bank breakdown")
+	case r.SampleEvery < 0:
+		return fmt.Errorf("obs: negative sampling interval %d", r.SampleEvery)
 	case r.SampleEvery == 0 && len(r.Samples) > 0:
 		return fmt.Errorf("obs: samples present without a sampling interval")
+	case len(r.Memory.Channels) > 0 && r.Memory.Imbalance == nil:
+		return fmt.Errorf("obs: multi-channel report missing imbalance")
+	case len(r.Memory.Channels) == 0 && r.Memory.Imbalance != nil:
+		return fmt.Errorf("obs: imbalance present without a channel breakdown")
 	case !r.Checked && len(r.Violations) > 0:
 		return fmt.Errorf("obs: violations recorded outside checked mode")
 	}

@@ -62,6 +62,37 @@ func TestOmitEmptySampling(t *testing.T) {
 	}
 }
 
+// TestImbalanceBalancedSerialized pins the omitempty bugfix: a
+// perfectly balanced (1.0) or idle (0) imbalance must still appear in
+// the JSON whenever the channel breakdown does — omitempty on the old
+// plain float64 erased exactly those values.
+func TestImbalanceBalancedSerialized(t *testing.T) {
+	for _, imb := range []float64{0, 1} {
+		imb := imb
+		r := valid()
+		banks := []BankStat{{Bank: 0, Activates: 1, Reads: 1}}
+		r.Memory.Channels = []ChannelStat{
+			{Channel: 0, Port: "(0,0)", Banks: banks},
+			{Channel: 1, Port: "(3,3)", Banks: banks},
+		}
+		r.Memory.Imbalance = &imb
+		var buf bytes.Buffer
+		if err := r.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), `"imbalance"`) {
+			t.Errorf("imbalance %v dropped from the multi-channel JSON", imb)
+		}
+		back, err := Parse(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.Memory.Imbalance == nil || *back.Memory.Imbalance != imb {
+			t.Errorf("imbalance %v did not round-trip: %v", imb, back.Memory.Imbalance)
+		}
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	cases := []struct {
 		name string
@@ -81,6 +112,16 @@ func TestValidateRejects(t *testing.T) {
 			r.SampleEvery = 10
 			r.Samples = []Sample{{Cycle: r.Cycles + 1}}
 		}, "outside run"},
+		{"negative sampling interval", func(r *Report) {
+			r.SampleEvery = -5
+		}, "negative sampling interval"},
+		{"channels without imbalance", func(r *Report) {
+			r.Memory.Channels = []ChannelStat{{Channel: 0}}
+		}, "missing imbalance"},
+		{"imbalance without channels", func(r *Report) {
+			one := 1.0
+			r.Memory.Imbalance = &one
+		}, "without a channel breakdown"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

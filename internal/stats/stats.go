@@ -55,7 +55,10 @@ func (l *Latency) Mean() float64 {
 // at histogram-bucket resolution. The rank is the nearest-rank ceiling,
 // ceil(count*p/100), so P95 over 10 samples targets the 10th sample, not
 // the 9th — truncation would silently report one bucket low on small
-// counts.
+// counts. The bucket upper bound is clamped to the observed Max: every
+// sample in the top occupied bucket is at most Max, so a raw bound above
+// it (all samples equal to 5 reporting P99 = 7 against Max = 5) would be
+// internally inconsistent with the accumulator's own exact maximum.
 func (l *Latency) Percentile(p float64) int64 {
 	if l.Count == 0 {
 		return 0
@@ -71,7 +74,11 @@ func (l *Latency) Percentile(p float64) int64 {
 	for i, n := range l.buckets {
 		seen += n
 		if seen >= target {
-			return (int64(1) << uint(i+1)) - 1
+			b := (int64(1) << uint(i+1)) - 1
+			if b > l.Max {
+				b = l.Max
+			}
+			return b
 		}
 	}
 	return l.Max

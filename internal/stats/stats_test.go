@@ -77,27 +77,27 @@ func TestMetricsRecordRouting(t *testing.T) {
 // small counts and exact powers of two, where the old truncating rank
 // silently targeted one sample too low (P95 of 10 samples must bound the
 // 10th sample, not the 9th). Samples are chosen one per histogram bucket
-// (powers of two) so each rank maps to a distinct bucket bound.
+// (powers of two) so each rank maps to a distinct bucket bound. Bounds
+// targeting the top occupied bucket clamp to the exact Max (the largest
+// sample, 2^(samples-1)) rather than the looser raw bucket ceiling.
 func TestPercentileCeilingRank(t *testing.T) {
-	// bound(i) is the histogram upper bound for sample 2^i.
-	bound := func(i int) int64 { return (int64(1) << uint(i+1)) - 1 }
 	cases := []struct {
 		name    string
 		samples int // samples: 2^0, 2^1, ..., 2^(samples-1)
 		p       float64
-		want    int64
+		rank    int // 0-based index of the targeted sample
 	}{
-		{"p95 of 10 targets the 10th", 10, 95, bound(9)},
-		{"p50 of 10 targets the 5th", 10, 50, bound(4)},
-		{"p99 of 10 targets the 10th", 10, 99, bound(9)},
-		{"p95 of 2 targets the 2nd", 2, 95, bound(1)},
-		{"p50 of 1 targets the 1st", 1, 50, bound(0)},
-		{"p25 of 4 targets the 1st (exact rank)", 4, 25, bound(0)},
-		{"p50 of 8 targets the 4th (exact rank)", 8, 50, bound(3)},
-		{"p75 of 8 targets the 6th (exact rank)", 8, 75, bound(5)},
-		{"p95 of 16 targets the 16th (ceil 15.2)", 16, 95, bound(15)},
-		{"p100 of 16 targets the 16th", 16, 100, bound(15)},
-		{"p0 clamps to the 1st", 16, 0, bound(0)},
+		{"p95 of 10 targets the 10th", 10, 95, 9},
+		{"p50 of 10 targets the 5th", 10, 50, 4},
+		{"p99 of 10 targets the 10th", 10, 99, 9},
+		{"p95 of 2 targets the 2nd", 2, 95, 1},
+		{"p50 of 1 targets the 1st", 1, 50, 0},
+		{"p25 of 4 targets the 1st (exact rank)", 4, 25, 0},
+		{"p50 of 8 targets the 4th (exact rank)", 8, 50, 3},
+		{"p75 of 8 targets the 6th (exact rank)", 8, 75, 5},
+		{"p95 of 16 targets the 16th (ceil 15.2)", 16, 95, 15},
+		{"p100 of 16 targets the 16th", 16, 100, 15},
+		{"p0 clamps to the 1st", 16, 0, 0},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -105,12 +105,63 @@ func TestPercentileCeilingRank(t *testing.T) {
 			for i := 0; i < tc.samples; i++ {
 				l.Add(int64(1) << uint(i))
 			}
-			if got := l.Percentile(tc.p); got != tc.want {
+			// The histogram upper bound of the targeted sample 2^rank,
+			// clamped to the accumulator's exact maximum.
+			want := (int64(1) << uint(tc.rank+1)) - 1
+			if max := int64(1) << uint(tc.samples-1); want > max {
+				want = max
+			}
+			if got := l.Percentile(tc.p); got != want {
 				t.Errorf("Percentile(%v) over %d samples = %d, want %d",
-					tc.p, tc.samples, got, tc.want)
+					tc.p, tc.samples, got, want)
 			}
 		})
 	}
+}
+
+// TestPercentileClampedToMax is the regression test for the bucket-bound
+// overshoot: a histogram whose samples all share one bucket (or one
+// value) must never report a percentile above its own Max.
+func TestPercentileClampedToMax(t *testing.T) {
+	t.Run("all-equal", func(t *testing.T) {
+		var l Latency
+		for i := 0; i < 100; i++ {
+			l.Add(5)
+		}
+		for _, p := range []float64{0, 50, 95, 99, 100} {
+			if got := l.Percentile(p); got != 5 {
+				t.Errorf("Percentile(%v) = %d over 100 samples of 5, want exactly 5", p, got)
+			}
+		}
+	})
+	t.Run("single-bucket", func(t *testing.T) {
+		// 4, 5, 6 all land in bucket [4,8) whose raw upper bound is 7.
+		var l Latency
+		for _, v := range []int64{4, 5, 6} {
+			l.Add(v)
+		}
+		if got := l.Percentile(99); got != l.Max {
+			t.Errorf("P99 = %d exceeds Max = %d", got, l.Max)
+		}
+		if l.Max != 6 {
+			t.Fatalf("Max = %d, want 6", l.Max)
+		}
+	})
+	t.Run("lower-bucket-unclamped", func(t *testing.T) {
+		// The clamp applies per result, not per histogram: a low
+		// percentile in a non-top bucket keeps its bucket bound.
+		var l Latency
+		for i := 0; i < 99; i++ {
+			l.Add(2) // bucket [2,4), bound 3
+		}
+		l.Add(1000)
+		if got := l.Percentile(50); got != 3 {
+			t.Errorf("P50 = %d, want the untouched bucket bound 3", got)
+		}
+		if got := l.Percentile(100); got != 1000 {
+			t.Errorf("P100 = %d, want the exact max 1000", got)
+		}
+	})
 }
 
 func TestSummarize(t *testing.T) {

@@ -50,8 +50,8 @@ func Fingerprint(cfg system.Config) (string, bool) {
 	// fields, so neither may be served from (or into) a differently
 	// configured point's cache entry.
 	fmt.Fprintf(h,
-		"gen=%d clk=%d design=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t sample=%d chk=%t|",
-		c.Gen, c.ClockMHz, c.Design, c.PCT, c.GSSRouters, c.PriorityDemand,
+		"gen=%d clk=%d design=%d sched=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t sample=%d chk=%t|",
+		c.Gen, c.ClockMHz, c.Design, c.Scheduler, c.PCT, c.GSSRouters, c.PriorityDemand,
 		c.Cycles, c.Warmup, c.Seed, c.BufFlits, c.VirtualChannels,
 		c.AdaptiveRouting, c.InjectCap, c.MemPipeline, c.SplitGranularity,
 		c.TagEveryRequest, c.SampleEvery, c.Checked)

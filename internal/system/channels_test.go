@@ -32,7 +32,7 @@ func TestChannelsOneIsSeedEquivalent(t *testing.T) {
 		if !reflect.DeepEqual(a, b) {
 			t.Errorf("%s: Channels=1 diverges from the defaulted config", d)
 		}
-		if len(a.Obs.Memory.Channels) != 0 || a.Obs.Memory.Imbalance != 0 {
+		if len(a.Obs.Memory.Channels) != 0 || a.Obs.Memory.Imbalance != nil {
 			t.Errorf("%s: single-channel report carries multi-channel fields", d)
 		}
 	}
@@ -73,7 +73,7 @@ func TestTwoChannelCheckedRun(t *testing.T) {
 	if agg := res.Device.DataCycles; agg != data {
 		t.Errorf("per-channel data cycles sum to %d, aggregate says %d", data, agg)
 	}
-	if imb := res.Obs.Memory.Imbalance; imb < 1 || imb > 1.5 {
+	if imb := res.Obs.Memory.Imbalance; imb == nil || *imb < 1 || *imb > 1.5 {
 		t.Errorf("channel imbalance %v outside the balanced band [1,1.5]", imb)
 	}
 	if res.Utilization <= 0.3 {

@@ -5,6 +5,7 @@ import (
 
 	"aanoc/internal/check"
 	"aanoc/internal/dram"
+	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 )
 
@@ -33,6 +34,30 @@ func (r *Runner) installChecks() {
 	for _, d := range r.devs {
 		mon := check.NewDRAMMonitor(r.chk, r.timing)
 		d.Observer = mon.Observe
+	}
+	// Scheduler-guarantee monitors, one per channel: the DPQ analytic
+	// WCET bound asserted per completion, or the per-bank regulation
+	// invariant shadow-audited per grant. The monitors consume the
+	// controllers' fact-reporting hooks; the bound arithmetic and ledger
+	// live entirely in internal/check.
+	for ch, ctrl := range r.ctrls {
+		name := ""
+		if len(r.ctrls) > 1 {
+			name = fmt.Sprintf("/ch%d", ch)
+		}
+		switch c := ctrl.(type) {
+		case *memctrl.DPQ:
+			b := check.NewDPQBound(r.timing, c.Config().Requestors, r.maxBeats)
+			mon := check.NewDPQMonitor(r.chk, b, "memctrl/dpq"+name)
+			c.OnAdmit = mon.Admit
+			c.OnComplete = mon.Complete
+			r.dpqMons = append(r.dpqMons, mon)
+		case *memctrl.Regulator:
+			rc := c.Config()
+			mon := check.NewRegulatorMonitor(r.chk, rc.Window, rc.Budget, "memctrl/regulator"+name)
+			c.OnAdmit = mon.Admit
+			r.regMons = append(r.regMons, mon)
+		}
 	}
 }
 
@@ -94,6 +119,12 @@ func (r *Runner) finalChecks(rep *obs.Report) {
 		g.AuditTokens(func(kind, format string, args ...any) {
 			c.Reportf(-1, "gss", kind, format, args...)
 		})
+	}
+	// DPQ WCET stragglers: a request still outstanding past its analytic
+	// deadline at end of run missed its bound just as surely as a late
+	// completion.
+	for _, m := range r.dpqMons {
+		m.Flush(r.kern.Now())
 	}
 	r.checkReport(rep)
 

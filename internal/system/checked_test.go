@@ -7,6 +7,7 @@ import (
 
 	"aanoc/internal/appmodel"
 	"aanoc/internal/dram"
+	"aanoc/internal/memctrl"
 )
 
 // TestCheckedCleanAcrossDesigns runs every design point under the full
@@ -87,6 +88,7 @@ func TestCheckedPropertyRandomConfigs(t *testing.T) {
 			TagEveryRequest: rng.Intn(2) == 0,
 			AdaptiveRouting: rng.Intn(2) == 0,
 			SampleEvery:     int64(rng.Intn(2)) * 500,
+			Scheduler:       memctrl.Scheduler(rng.Intn(4)),
 			CheckedPanic:    true,
 		}
 		t.Run(cfg.Design.String()+"/"+cfg.App.Name, func(t *testing.T) {

@@ -39,6 +39,16 @@ type Config struct {
 	// channel count). Irrelevant single-channel.
 	Scheme mapping.ChannelScheme
 
+	// Scheduler overrides the memory scheduler on every channel
+	// (default memctrl.SchedDefault: the paper's pairing of MemMax for
+	// conventional designs and the lightweight controller otherwise).
+	// The zoo members — SchedDPQ, SchedRegulated, SchedStaged — replace
+	// the controller while keeping the design's network unchanged, so a
+	// sweep isolates the scheduler axis. Checked runs additionally arm
+	// the scheduler's guarantee monitor: the DPQ analytic WCET bound per
+	// request, or the per-bank regulation-window invariant.
+	Scheduler memctrl.Scheduler
+
 	// PCT is the hybrid priority control token for GSS designs
 	// (default 3; [4] and [4]+PFS override it).
 	PCT int
@@ -139,6 +149,10 @@ type Result struct {
 	Gen      dram.Generation
 	ClockMHz int
 	Cycles   int64
+	// Scheduler is the memory scheduler the run used; Channels its SDRAM
+	// channel count (both resolved, so table rows can carry them).
+	Scheduler memctrl.Scheduler
+	Channels  int
 
 	Utilization float64
 	LatAll      float64
@@ -311,8 +325,17 @@ type Runner struct {
 
 	// Checked-mode state: nil unless Config.Checked. genPerCore mirrors
 	// met.Generated per requesting core for the end-of-run accounting.
+	// dpqMons/regMons are the per-channel scheduler-guarantee monitors
+	// (empty unless the matching zoo scheduler is selected).
 	chk        *check.Checker
 	genPerCore []int64
+	dpqMons    []*check.DPQMonitor
+	regMons    []*check.RegulatorMonitor
+
+	// maxBeats is the largest single-request beat count the resolved
+	// workload can present — the interference unit of the DPQ WCET bound
+	// and the regulator's budget floor.
+	maxBeats int
 }
 
 // CoreStats is the per-core service breakdown of one run.
@@ -380,8 +403,21 @@ func New(cfg Config) (*Runner, error) {
 
 	// Memory subsystem attachment, one controller/device pair behind each
 	// channel's ejection port.
+	if !cfg.Scheduler.Valid() {
+		return nil, fmt.Errorf("system: unknown scheduler %d", int(cfg.Scheduler))
+	}
+	r.maxBeats = maxRequestBeats(cfg)
+	// The design's page policy (zoo schedulers that keep a windowed
+	// pipeline inherit it; DPQ is structurally closed-page).
+	policy := memctrl.OpenPage
+	if cfg.Design.usesSAGM() {
+		policy = memctrl.PartialOpenPage
+	}
+	if cfg.PagePolicy != nil {
+		policy = *cfg.PagePolicy
+	}
 	memReady := 4
-	if cfg.Design.usesMemMax() {
+	if cfg.Design.usesMemMax() || cfg.Scheduler != memctrl.SchedDefault {
 		memReady = 8
 	}
 	for ch := 0; ch < cfg.Channels; ch++ {
@@ -396,23 +432,32 @@ func New(cfg Config) (*Runner, error) {
 
 		onDone := func(c memctrl.Completion) { r.onMemDone(ch, c) }
 		var ctrl memctrl.Controller
-		if cfg.Design.usesMemMax() {
-			mm := memctrl.DefaultMemMaxConfig()
-			mm.PriorityFirst = cfg.Design == ConvPFS
-			// The bus-level scheduler hands one transaction at a time to the
-			// controller, whose command look-ahead prepares the next page
-			// while the current data transfers (a window of two).
-			mm.PipelineDepth = 2
-			ctrl = memctrl.NewMemMax(dev, mm, onDone)
-		} else {
-			policy := memctrl.OpenPage
-			if cfg.Design.usesSAGM() {
-				policy = memctrl.PartialOpenPage
+		switch cfg.Scheduler {
+		case memctrl.SchedDPQ:
+			ctrl = memctrl.NewDPQ(dev, memctrl.DefaultDPQConfig(len(cfg.App.Cores)), onDone)
+		case memctrl.SchedRegulated:
+			rc := memctrl.DefaultRegulatorConfig(len(cfg.App.Cores))
+			rc.MinBudget = int64(r.maxBeats)
+			rc.PipelineDepth = cfg.MemPipeline
+			rc.Policy = policy
+			ctrl = memctrl.NewRegulator(dev, rc, onDone)
+		case memctrl.SchedStaged:
+			sc := memctrl.DefaultStagedConfig(len(cfg.App.Cores))
+			sc.PipelineDepth = cfg.MemPipeline
+			sc.Policy = policy
+			ctrl = memctrl.NewStaged(dev, sc, onDone)
+		default:
+			if cfg.Design.usesMemMax() {
+				mm := memctrl.DefaultMemMaxConfig()
+				mm.PriorityFirst = cfg.Design == ConvPFS
+				// The bus-level scheduler hands one transaction at a time to the
+				// controller, whose command look-ahead prepares the next page
+				// while the current data transfers (a window of two).
+				mm.PipelineDepth = 2
+				ctrl = memctrl.NewMemMax(dev, mm, onDone)
+			} else {
+				ctrl = memctrl.NewSimple(dev, policy, cfg.MemPipeline, onDone)
 			}
-			if cfg.PagePolicy != nil {
-				policy = *cfg.PagePolicy
-			}
-			ctrl = memctrl.NewSimple(dev, policy, cfg.MemPipeline, onDone)
 		}
 		r.ctrls = append(r.ctrls, ctrl)
 	}
@@ -471,7 +516,53 @@ func New(cfg Config) (*Runner, error) {
 		// when every component sleeps. Results are identical either way.
 		r.kern.SetIdleSkip(false)
 	}
+	if f := os.Getenv("AANOC_INJECT_FAULT"); f != "" {
+		// Mutation knob for the CLI-level fault-injection tests: arm one
+		// device fault on every channel so an end-to-end run can prove
+		// checked mode turns the breach into a non-zero exit.
+		var fault dram.Fault
+		switch f {
+		case "slow-cas":
+			fault = dram.FaultSlowCAS
+		case "skip-trcd":
+			fault = dram.FaultSkipTRCD
+		case "skip-tfaw":
+			fault = dram.FaultSkipTFAW
+		default:
+			return nil, fmt.Errorf("system: unknown AANOC_INJECT_FAULT %q", f)
+		}
+		for _, d := range r.devs {
+			d.InjectFault(fault)
+		}
+	}
 	return r, nil
+}
+
+// maxRequestBeats returns the largest single-request beat count the
+// resolved workload can present: the max over the replay records in
+// replay mode, over every stream's burst-size menu otherwise. It feeds
+// the DPQ WCET bound (the worst-case interference unit) and the
+// regulator's budget floor.
+func maxRequestBeats(cfg Config) int {
+	m := 1
+	if len(cfg.Replay) > 0 {
+		for _, rec := range cfg.Replay {
+			if rec.Beats > m {
+				m = rec.Beats
+			}
+		}
+		return m
+	}
+	for _, c := range cfg.App.Cores {
+		for _, s := range c.Streams {
+			for _, b := range s.Beats {
+				if b > m {
+					m = b
+				}
+			}
+		}
+	}
+	return m
 }
 
 // installAllocators sets every router output's flow-control policy
@@ -798,6 +889,8 @@ func (r *Runner) Finish() Result {
 	r.met.Cycles = now
 	res := Result{
 		Design: cfg.Design, App: cfg.App.Name, Gen: cfg.Gen, ClockMHz: cfg.ClockMHz,
+		Scheduler:   cfg.Scheduler,
+		Channels:    cfg.Channels,
 		Cycles:      now,
 		Utilization: r.utilization(now),
 		LatAll:      r.met.All.Mean(),
@@ -834,9 +927,14 @@ func (r *Runner) Finish() Result {
 // substrates maintained during the run.
 func (r *Runner) buildReport() *obs.Report {
 	cfg := r.cfg
+	sched := ""
+	if cfg.Scheduler != memctrl.SchedDefault {
+		sched = cfg.Scheduler.String()
+	}
 	rep := &obs.Report{
 		Design: cfg.Design.String(), App: cfg.App.Name, Gen: int(cfg.Gen),
 		ClockMHz: cfg.ClockMHz, Cycles: r.kern.Now(), Warmup: max(cfg.Warmup, 0), Seed: cfg.Seed,
+		Scheduler:   sched,
 		Generated:   r.met.Generated,
 		Completed:   r.met.Completed,
 		Stalled:     r.met.Stalled,
@@ -904,6 +1002,7 @@ func (r *Runner) buildMemoryReport(rep *obs.Report) {
 	}
 	rep.Memory.Banks = banks
 	rep.Memory.Stream = stream
+	r.buildSchedulerReport(rep)
 	if len(r.devs) == 1 {
 		return
 	}
@@ -938,10 +1037,47 @@ func (r *Runner) buildMemoryReport(rep *obs.Report) {
 		total += cs.DataCycles
 		rep.Memory.Channels = append(rep.Memory.Channels, cs)
 	}
+	// Imbalance accompanies every channel breakdown — including the
+	// perfectly balanced and the idle (0) cases, which the old omitempty
+	// float64 silently dropped from the JSON sidecar.
+	var imb float64
 	if total > 0 {
 		mean := float64(total) / float64(len(r.devs))
-		rep.Memory.Imbalance = float64(busiest) / mean
+		imb = float64(busiest) / mean
 	}
+	rep.Memory.Imbalance = &imb
+}
+
+// buildSchedulerReport fills the per-scheduler decision breakdown,
+// aggregated across channels (absent for the default controllers, so
+// pre-zoo sidecars stay byte-identical).
+func (r *Runner) buildSchedulerReport(rep *obs.Report) {
+	if r.cfg.Scheduler == memctrl.SchedDefault {
+		return
+	}
+	st := &obs.SchedulerStat{Name: r.cfg.Scheduler.String()}
+	for _, ctrl := range r.ctrls {
+		switch c := ctrl.(type) {
+		case *memctrl.DPQ:
+			st.Grants += c.Stats.Grants
+			if c.Stats.MaxBacklog > st.MaxBacklog {
+				st.MaxBacklog = c.Stats.MaxBacklog
+			}
+		case *memctrl.Regulator:
+			st.Grants += c.Stats.Grants
+			st.Throttled += c.Stats.Throttled
+			st.WindowRolls += c.Stats.WindowRolls
+		case *memctrl.Staged:
+			st.Grants += c.Stats.LightGrants + c.Stats.HeavyGrants
+			st.LightGrants += c.Stats.LightGrants
+			st.HeavyGrants += c.Stats.HeavyGrants
+			st.Reclassifications += c.Stats.Reclassifications
+		}
+	}
+	for _, m := range r.dpqMons {
+		st.WCETChecked += m.Checked
+	}
+	rep.Memory.Scheduler = st
 }
 
 // meshStats flattens one mesh's connected output ports, in router-index

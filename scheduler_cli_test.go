@@ -1,0 +1,52 @@
+package aanoc
+
+// CLI-level fault-injection proof: a checked run of aanoc-sim with a
+// legality-preserving slow-CAS fault injected via AANOC_INJECT_FAULT
+// must exit with status 2 — the documented "invariant violated" code —
+// driven by the DPQ WCET bound monitor alone. The binary is built (not
+// `go run`) because go run collapses child exit codes.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSchedulerFaultInjectionExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aanoc-sim binary")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "aanoc-sim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/aanoc-sim").CombinedOutput(); err != nil {
+		t.Fatalf("building aanoc-sim: %v\n%s", err, out)
+	}
+
+	// Clean checked DPQ run: exit 0, no violations.
+	clean := exec.Command(bin, "-scheduler", "dpq", "-checked", "-cycles", "25000")
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("clean checked DPQ run failed: %v\n%s", err, out)
+	}
+
+	// Same run with the injected fault: exit 2, WCET violations on stderr.
+	faulty := exec.Command(bin, "-scheduler", "dpq", "-checked", "-cycles", "25000")
+	faulty.Env = append(os.Environ(), "AANOC_INJECT_FAULT=slow-cas")
+	out, err := faulty.CombinedOutput()
+	if err == nil {
+		t.Fatalf("faulty run exited 0:\n%s", out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("faulty run: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("faulty run exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "wcet-bound") {
+		t.Errorf("stderr does not name the WCET bound violation:\n%s", out)
+	}
+}

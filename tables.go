@@ -7,6 +7,7 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/area"
 	"aanoc/internal/dram"
+	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/sweep"
 	"aanoc/internal/system"
@@ -22,6 +23,13 @@ type Row struct {
 	Gen      int    `json:"gen"`
 	ClockMHz int    `json:"clockMHz"`
 	Design   Design `json:"design"`
+	// Scheduler names the memory scheduler when a zoo member replaced
+	// the design's controller (empty for the default, so paper-table
+	// sidecars are unchanged).
+	Scheduler string `json:"scheduler,omitempty"`
+	// Channels is the SDRAM channel count when it exceeds the paper's
+	// single channel.
+	Channels int `json:"channels,omitempty"`
 
 	Utilization float64 `json:"utilization"`
 	// UsefulUtilization excludes over-fetched (discarded) beats — the
@@ -38,8 +46,17 @@ type Row struct {
 }
 
 func rowFrom(res Result) Row {
+	sched := ""
+	if res.Scheduler != memctrl.SchedDefault {
+		sched = res.Scheduler.String()
+	}
+	channels := 0
+	if res.Channels > 1 {
+		channels = res.Channels
+	}
 	return Row{
 		App: res.App, Gen: int(res.Gen), ClockMHz: res.ClockMHz, Design: res.Design,
+		Scheduler: sched, Channels: channels,
 		Utilization:       res.Utilization,
 		UsefulUtilization: res.Utilization * (1 - res.WasteFrac),
 		LatencyAll:        res.LatAll,
@@ -166,6 +183,27 @@ func TableIII(o TableOptions) ([]Row, error) {
 				// interleaving hurts and the STI filters help.
 				TagEveryRequest: true,
 				Cycles:          o.cycles(), Seed: o.Seed,
+			})
+		}
+	}
+	return runGrid(cfgs, o)
+}
+
+// TableSchedulers evaluates the memory-scheduler zoo against the
+// paper's controllers: each scheduler (the design default, DPQ,
+// regulated, staged) on the three applications under GSS+SAGM with
+// priority demand, on DDR II at the paper clock. It is the
+// predictability-versus-throughput comparison the zoo exists for — the
+// DPQ buys an analytic worst-case bound and the regulator buys per-bank
+// isolation, both at a utilization cost the rows quantify.
+func TableSchedulers(o TableOptions) ([]Row, error) {
+	var cfgs []system.Config
+	for _, app := range appmodel.Apps() {
+		for _, s := range memctrl.Schedulers() {
+			cfgs = append(cfgs, system.Config{
+				App: app, Gen: dram.DDR2, Design: GSSSAGM, Scheduler: s,
+				PriorityDemand: true,
+				Cycles:         o.cycles(), Seed: o.Seed,
 			})
 		}
 	}
@@ -300,6 +338,25 @@ func TableV(o TableOptions) ([]PowerRow, error) {
 		}
 	}
 	return out, nil
+}
+
+// FormatSchedulerRows renders a scheduler-comparison grid as an aligned
+// text table, one line per (app, scheduler) point.
+func FormatSchedulerRows(rows []Row) string {
+	var b strings.Builder
+	b.Grow(96 * (len(rows) + 1))
+	fmt.Fprintf(&b, "%-8s %-4s %5s  %-14s %-10s %6s %8s %8s %8s\n",
+		"app", "gen", "MHz", "design", "scheduler", "util", "lat-all", "lat-dem", "lat-pri")
+	for _, r := range rows {
+		sched := r.Scheduler
+		if sched == "" {
+			sched = "default"
+		}
+		fmt.Fprintf(&b, "%-8s DDR%d %5d  %-14s %-10s %.3f %8.0f %8.0f %8.0f\n",
+			r.App, r.Gen, r.ClockMHz, r.Design, sched, r.Utilization,
+			r.LatencyAll, r.LatencyDemand, r.LatencyPriority)
+	}
+	return b.String()
 }
 
 // FormatRows renders rows as an aligned text table, one line per row.
