@@ -43,9 +43,9 @@ import (
 	"fmt"
 
 	"aanoc/internal/appmodel"
-	"aanoc/internal/dram"
 	"aanoc/internal/mapping"
 	"aanoc/internal/memctrl"
+	"aanoc/internal/scenario"
 	"aanoc/internal/system"
 )
 
@@ -210,7 +210,63 @@ var (
 	ErrUnknownScheduler = errors.New("unknown scheduler")
 	// ErrBadSampleEvery reports a negative observability sampling period.
 	ErrBadSampleEvery = errors.New("invalid sampling period")
+	// ErrBadSpec reports a scenario spec that cannot run: malformed
+	// JSON, an invalid platform/workload description, or Config.Spec
+	// combined with Model/App.
+	ErrBadSpec = errors.New("invalid scenario spec")
 )
+
+// Spec is a declarative workload/platform scenario: mesh dimensions,
+// memory ports, cores with their request streams, and optional run
+// parameters. Load one with LoadSpec/ParseSpec, set it on Config.Spec,
+// or generate one with the aanoc-gen tool. See internal/scenario for
+// the schema and DESIGN.md "Scenario platform" for the contract.
+type Spec = scenario.Spec
+
+// SpecRun is a spec's run-parameter block: the spec's embedded defaults
+// and the shape CLI/facade overrides merge onto them.
+type SpecRun = scenario.Run
+
+// ParseSpec decodes and validates a scenario spec from JSON. Errors
+// wrap ErrBadSpec (malformed input or an impossible scenario) or the
+// field sentinels (ErrBadGeneration, ErrBadChannels, ErrUnknownScheduler,
+// ErrBadSampleEvery) for errors.Is dispatch.
+func ParseSpec(data []byte) (*Spec, error) {
+	s, err := scenario.Parse(data)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return s, nil
+}
+
+// LoadSpec reads and validates a scenario spec file.
+func LoadSpec(path string) (*Spec, error) {
+	s, err := scenario.Load(path)
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return s, nil
+}
+
+// specErr translates scenario sentinels into the facade's, so callers
+// dispatch on one sentinel set regardless of whether a value came from
+// a typed Config field or a spec file.
+func specErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, scenario.ErrBadGeneration):
+		return fmt.Errorf("aanoc: %w: %v", ErrBadGeneration, err)
+	case errors.Is(err, scenario.ErrBadChannels):
+		return fmt.Errorf("aanoc: %w: %v", ErrBadChannels, err)
+	case errors.Is(err, scenario.ErrUnknownScheduler):
+		return fmt.Errorf("aanoc: %w: %v", ErrUnknownScheduler, err)
+	case errors.Is(err, scenario.ErrBadSampleEvery):
+		return fmt.Errorf("aanoc: %w: %v", ErrBadSampleEvery, err)
+	default:
+		return fmt.Errorf("aanoc: %w: %v", ErrBadSpec, err)
+	}
+}
 
 // Config selects one simulation run.
 //
@@ -218,6 +274,12 @@ var (
 // DDR2 at the paper's clock under the CONV design for 200,000 cycles
 // with one memory channel and the fixed default seed.
 type Config struct {
+	// Spec, when set, supplies the platform and workload from a
+	// declarative scenario instead of a builtin application model; its
+	// embedded run block (if any) provides defaults the explicit Config
+	// fields override, field by field. Mutually exclusive with
+	// Model/App (Validate wraps ErrBadSpec otherwise).
+	Spec *Spec
 	// Model is the application model. Empty defaults to AppBluRay —
 	// explicitly: the zero Config must be runnable, and the Blu-ray SoC
 	// is the paper's lead evaluation platform. Unknown names are
@@ -307,56 +369,60 @@ func (c Config) Validate() error {
 	return err
 }
 
-// toInternal resolves the public config into the system configuration,
-// validating every field the facade owns.
+// toInternal resolves the public config into the system configuration.
+// All shared-field validation goes through scenario.Resolve — the same
+// path the CLIs' -spec handling uses — so the facade and the CLIs
+// reject the same inputs with the same sentinels; the facade-only knobs
+// (Design, PCT, GSSRouters, virtual channels, adaptive routing,
+// checked mode) are applied on top.
 func (c Config) toInternal() (system.Config, error) {
-	name := c.model()
-	app, err := appmodel.ByName(name)
-	if err != nil {
-		return system.Config{}, fmt.Errorf("aanoc: %w %q", ErrUnknownApp, name)
+	over := scenario.Run{
+		Generation: c.Generation, ClockMHz: c.ClockMHz,
+		Channels: c.Channels, Scheduler: string(c.Scheduler),
+		PriorityDemand: c.PriorityDemand,
+		Cycles:         c.Cycles, Warmup: c.Warmup, Seed: c.Seed,
+		SampleEvery: c.SampleEvery,
 	}
-	gen := dram.Generation(c.Generation)
-	if c.Generation == 0 {
-		gen = dram.DDR2
+	if c.ChannelScheme != BankThenChannel {
+		over.Scheme = c.ChannelScheme.String()
 	}
-	if gen < dram.DDR1 || gen > dram.DDR3 {
-		return system.Config{}, fmt.Errorf("aanoc: %w %d (want 1-3)", ErrBadGeneration, c.Generation)
-	}
-	if c.Channels < 0 {
-		return system.Config{}, fmt.Errorf("aanoc: %w %d", ErrBadChannels, c.Channels)
-	}
-	channels := c.Channels
-	if channels == 0 {
-		channels = 1
-	}
-	if ports := len(app.Ports()); channels > ports {
-		return system.Config{}, fmt.Errorf("aanoc: %w %d (app %s has %d memory port(s))",
-			ErrBadChannels, c.Channels, app.Name, ports)
-	}
-	if c.ChannelScheme == ChannelThenBankXOR && channels&(channels-1) != 0 {
-		return system.Config{}, fmt.Errorf("aanoc: %w %d (%s needs a power of two)",
-			ErrBadChannels, c.Channels, c.ChannelScheme)
-	}
-	sched := memctrl.SchedDefault
-	if c.Scheduler != SchedulerDefault && c.Scheduler != "default" {
-		sched, err = memctrl.ParseScheduler(string(c.Scheduler))
-		if err != nil {
-			return system.Config{}, fmt.Errorf("aanoc: %w %q", ErrUnknownScheduler, string(c.Scheduler))
+	// Negative values are meaningful overrides the zero-value merge
+	// would treat as unset; Resolve rejects them, and it must see them.
+	specHash := ""
+	var app appmodel.App
+	if c.Spec != nil {
+		if c.Model != "" || c.App != "" {
+			return system.Config{}, fmt.Errorf("aanoc: %w: Config.Spec is mutually exclusive with Model/App", ErrBadSpec)
 		}
+		a, err := c.Spec.App()
+		if err != nil {
+			return system.Config{}, specErr(err)
+		}
+		app = a
+		specHash = c.Spec.Hash()
+		if c.Spec.Run != nil {
+			over = over.Merge(*c.Spec.Run)
+		}
+	} else {
+		name := c.model()
+		a, err := appmodel.ByName(name)
+		if err != nil {
+			return system.Config{}, fmt.Errorf("aanoc: %w %q", ErrUnknownApp, name)
+		}
+		app = a
 	}
-	if c.SampleEvery < 0 {
-		return system.Config{}, fmt.Errorf("aanoc: %w %d", ErrBadSampleEvery, c.SampleEvery)
+	cfg, err := scenario.Resolve(app, over)
+	if err != nil {
+		return system.Config{}, specErr(err)
 	}
-	return system.Config{
-		App: app, Gen: gen, ClockMHz: c.ClockMHz, Design: c.Design,
-		Channels: channels, Scheme: c.ChannelScheme, Scheduler: sched,
-		PCT: c.PCT, GSSRouters: c.GSSRouters,
-		PriorityDemand:  c.PriorityDemand,
-		VirtualChannels: c.VirtualChannels,
-		AdaptiveRouting: c.AdaptiveRouting,
-		Cycles:          c.Cycles, Warmup: c.Warmup, Seed: c.Seed,
-		SampleEvery: c.SampleEvery, Checked: c.Checked,
-	}, nil
+	cfg.Design = c.Design
+	cfg.PCT = c.PCT
+	cfg.GSSRouters = c.GSSRouters
+	cfg.VirtualChannels = c.VirtualChannels
+	cfg.AdaptiveRouting = c.AdaptiveRouting
+	cfg.Checked = c.Checked
+	cfg.SpecHash = specHash
+	return cfg, nil
 }
 
 // Run executes one simulation and returns the paper's metrics. It is

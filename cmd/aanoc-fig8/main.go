@@ -19,9 +19,40 @@ func main() {
 		cycles   = flag.Int64("cycles", 120_000, "simulated cycles per point")
 		seed     = flag.Uint64("seed", 0, "RNG seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
+		specPath = flag.String("spec", "", "scenario spec file (JSON); sweep GSS routers on the spec's platform instead of the paper's three curves")
+		gen      = flag.Int("gen", 0, "DDR generation for the -spec curve (0: the spec's run block, else DDR2)")
+		clock    = flag.Int("clock", 0, "memory clock in MHz for the -spec curve (0: the platform's clock)")
 	)
 	flag.Parse()
 	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel}
+	if *specPath != "" {
+		sp, err := aanoc.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-fig8:", err)
+			os.Exit(1)
+		}
+		g, c := *gen, *clock
+		if g == 0 && sp.Run != nil {
+			g = sp.Run.Generation
+		}
+		if g == 0 {
+			g = 2
+		}
+		if c == 0 && sp.Run != nil {
+			c = sp.Run.ClockMHz
+		}
+		pts, err := aanoc.Fig8Spec(sp, g, c, o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-fig8:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== Fig. 8 — %s, DDR%d ===\n", sp.Name, g)
+		fmt.Printf("%4s %8s %10s %10s\n", "#GSS", "util", "lat-all", "lat-pri")
+		for _, p := range pts {
+			fmt.Printf("%4d %8.3f %10.0f %10.0f\n", p.GSSRouters, p.Utilization, p.LatencyAll, p.LatencyPriority)
+		}
+		return
+	}
 	curves := []struct {
 		app   string
 		gen   int

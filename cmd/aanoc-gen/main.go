@@ -1,0 +1,113 @@
+// Command aanoc-gen generates seeded random scenario specs
+// (internal/scenario) and optionally runs them through the simulator
+// with the statistical-calibration layer attached. It is both a user
+// tool (emit a spec, edit it, feed it to aanoc-sim -spec) and the CI
+// scenario-matrix driver: -n seeded scenarios, each run in checked mode
+// and calibrated against its own declared distributions, exit status 2
+// on any invariant violation or calibration miss.
+//
+//	aanoc-gen -seed 42                       # one spec on stdout
+//	aanoc-gen -n 20 -seed 7 -out specs/      # twenty spec files
+//	aanoc-gen -n 50 -seed 7 -run -cycles 20000 -checked
+//	aanoc-gen -mesh-min 16 -mesh-max 16 -run # one large-mesh scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"aanoc/internal/obs"
+	"aanoc/internal/scenario"
+	"aanoc/internal/system"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1, "number of scenarios (seeds seed, seed+1, ...)")
+		seed     = flag.Uint64("seed", 1, "base generator seed")
+		meshMin  = flag.Int("mesh-min", 0, "minimum mesh side length (0: generator default)")
+		meshMax  = flag.Int("mesh-max", 0, "maximum mesh side length (0: generator default)")
+		maxPorts = flag.Int("max-ports", 0, "maximum memory ports (0: generator default)")
+		outDir   = flag.String("out", "", "write specs as <name>.json into this directory (default: stdout)")
+		run      = flag.Bool("run", false, "run each scenario and calibrate it instead of emitting specs")
+		design   = flag.String("design", "GSS+SAGM", "design under test with -run")
+		cycles   = flag.Int64("cycles", 0, "simulated cycles per -run scenario (0: the spec's default)")
+		checked  = flag.Bool("checked", false, "run each scenario under the invariant layer (internal/check)")
+	)
+	flag.Parse()
+	opts := scenario.GenOptions{MeshMin: *meshMin, MeshMax: *meshMax, MaxPorts: *maxPorts}
+
+	var d system.Design
+	if *run {
+		var err error
+		d, err = system.ParseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	failed := false
+	for i := 0; i < *n; i++ {
+		sp := scenario.Generate(*seed+uint64(i), opts)
+		if !*run {
+			if err := emit(sp, *outDir); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		cfg, err := sp.SystemConfig(scenario.Run{Cycles: *cycles})
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sp.Name, err))
+		}
+		cfg.Design = d
+		cfg.Checked = *checked
+		cfg.WorkloadStats = true
+		res, err := system.Run(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", sp.Name, err))
+		}
+		misses := scenario.Calibrate(sp, res.Obs, scenario.Tolerance{})
+		fmt.Printf("%-14s %dx%d cores=%-3d ports=%d chan=%d gen=%d sched=%-9s util=%.3f done=%-7d misses=%d\n",
+			sp.Name, sp.Mesh.Width, sp.Mesh.Height, len(sp.Cores), len(sp.MemPorts),
+			cfg.Channels, cfg.Gen, cfg.Scheduler, res.Utilization, res.Completed, len(misses))
+		for _, m := range misses {
+			failed = true
+			fmt.Fprintf(os.Stderr, "aanoc-gen: %s: calibration miss: %s\n", sp.Name, m)
+		}
+		if len(res.Obs.Violations) > 0 {
+			failed = true
+			fmt.Fprintf(os.Stderr, "aanoc-gen: %s: %d invariant violation(s):\n%s",
+				sp.Name, len(res.Obs.Violations), obs.SummarizeViolations(res.Obs.Violations, 10))
+		}
+	}
+	if failed {
+		os.Exit(2)
+	}
+}
+
+// emit writes one spec: to <dir>/<name>.json, or to stdout when no
+// directory was given.
+func emit(sp *scenario.Spec, dir string) error {
+	if dir == "" {
+		return sp.WriteJSON(os.Stdout)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, sp.Name+".json"))
+	if err != nil {
+		return err
+	}
+	if err := sp.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aanoc-gen:", err)
+	os.Exit(1)
+}

@@ -7,6 +7,7 @@
 //
 //	aanoc-sim -app bluray -gen 2 -design GSS+SAGM -cycles 500000
 //	aanoc-sim -app ddtv -gen 3 -design CONV -priority
+//	aanoc-sim -spec scenario.json -design GSS+SAGM  # declarative workload
 //	aanoc-sim -all -gen 2 -priority          # all designs, one app
 //	aanoc-sim -json report.json -sample-every 1000
 //	aanoc-sim -json - | jq .stalled          # report to stdout, no table
@@ -21,17 +22,16 @@ import (
 	"os/signal"
 
 	"aanoc/internal/appmodel"
-	"aanoc/internal/dram"
-	"aanoc/internal/mapping"
-	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/prof"
+	"aanoc/internal/scenario"
 	"aanoc/internal/system"
 )
 
 func main() {
 	var (
 		appName  = flag.String("app", "bluray", "application model: bluray, sdtv, ddtv, bluray2 or ddtv4")
+		specPath = flag.String("spec", "", "scenario spec file (JSON); replaces -app, explicit flags override the spec's run block")
 		gen      = flag.Int("gen", 2, "DDR generation: 1, 2 or 3")
 		clock    = flag.Int("clock", 0, "memory clock in MHz (0: the app's clock for the generation)")
 		design   = flag.String("design", "GSS", "design: CONV, CONV+PFS, [4], [4]+PFS, GSS, GSS+SAGM, GSS+SAGM+STI")
@@ -47,6 +47,7 @@ func main() {
 		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
 		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
 		sample   = flag.Int64("sample-every", 0, "record a time-series sample every N cycles in the report (0: off)")
+		workload = flag.Bool("workload", false, "include the per-stream workload (calibration) breakdown in the report")
 		checked  = flag.Bool("checked", false, "run under the invariant layer (internal/check); violations go to stderr and exit status 2")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -62,25 +63,69 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	app, err := appmodel.ByName(*appName)
-	if err != nil {
-		fatal(err)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	over := scenario.Run{
+		Generation: *gen, ClockMHz: *clock, Channels: *channels,
+		Scheme: *scheme, Scheduler: *schedFlg, PriorityDemand: *priority,
+		Cycles: *cycles, Seed: *seed, SampleEvery: *sample,
 	}
-	sch, err := mapping.ParseChannelScheme(*scheme)
-	if err != nil {
-		fatal(err)
+	// Everything funnels through scenario.Resolve — the same validation
+	// path the facade uses — whether the platform comes from a builtin
+	// application model or a spec file.
+	var base system.Config
+	if *specPath != "" {
+		if set["app"] {
+			fatal(fmt.Errorf("-spec and -app are mutually exclusive"))
+		}
+		sp, err := scenario.Load(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Only explicitly set flags override the spec's run block; flag
+		// defaults do not.
+		if !set["gen"] {
+			over.Generation = 0
+		}
+		if !set["clock"] {
+			over.ClockMHz = 0
+		}
+		if !set["channels"] {
+			over.Channels = 0
+		}
+		if !set["chan-scheme"] {
+			over.Scheme = ""
+		}
+		if !set["scheduler"] {
+			over.Scheduler = ""
+		}
+		if !set["cycles"] {
+			over.Cycles = 0
+		}
+		if !set["seed"] {
+			over.Seed = 0
+		}
+		if !set["sample-every"] {
+			over.SampleEvery = 0
+		}
+		base, err = sp.SystemConfig(over)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		app, err := appmodel.ByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = scenario.Resolve(app, over)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	sched, err := memctrl.ParseScheduler(*schedFlg)
-	if err != nil {
-		fatal(err)
-	}
-	base := system.Config{
-		App: app, Gen: dram.Generation(*gen), ClockMHz: *clock,
-		Cycles: *cycles, Seed: *seed, PCT: *pct,
-		GSSRouters: *gssN, PriorityDemand: *priority,
-		Channels: *channels, Scheme: sch, Scheduler: sched,
-		SampleEvery: *sample, Checked: *checked,
-	}
+	base.PCT = *pct
+	base.GSSRouters = *gssN
+	base.Checked = *checked
+	base.WorkloadStats = *workload
 	designs := []system.Design{}
 	if *all {
 		designs = system.Designs()

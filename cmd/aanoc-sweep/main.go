@@ -28,10 +28,9 @@ import (
 	"strconv"
 
 	"aanoc/internal/appmodel"
-	"aanoc/internal/dram"
-	"aanoc/internal/mapping"
 	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
+	"aanoc/internal/scenario"
 	"aanoc/internal/sweep"
 	"aanoc/internal/system"
 )
@@ -40,6 +39,7 @@ func main() {
 	var (
 		sweepName = flag.String("sweep", "pct", "pct | granularity | pagepolicy | gss-routers | channels | scheduler")
 		appName   = flag.String("app", "bluray", "application model")
+		specPath  = flag.String("spec", "", "scenario spec file (JSON); replaces -app, explicit flags override the spec's run block")
 		gen       = flag.Int("gen", 2, "DDR generation")
 		cycles    = flag.Int64("cycles", 120_000, "simulated cycles per point")
 		seed      = flag.Uint64("seed", 0, "RNG seed")
@@ -57,20 +57,67 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	app, err := appmodel.ByName(*appName)
-	if err != nil {
-		fatal(err)
-	}
-	sch, err := mapping.ParseChannelScheme(*scheme)
-	if err != nil {
-		fatal(err)
-	}
-	base := system.Config{
-		App: app, Gen: dram.Generation(*gen),
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	over := scenario.Run{
+		Generation: *gen, Channels: *channels, Scheme: *scheme,
 		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
-		Channels: *channels, Scheme: sch,
-		Checked: *checked,
 	}
+	// Both entry points funnel through scenario.Resolve, the same
+	// validation path the facade uses.
+	var (
+		app  appmodel.App
+		base system.Config
+	)
+	if *specPath != "" {
+		if set["app"] {
+			fatal(fmt.Errorf("-spec and -app are mutually exclusive"))
+		}
+		sp, err := scenario.Load(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Only explicitly set flags override the spec's run block. With
+		// OR-merge semantics, -priority can be granted but not revoked; a
+		// spec that wants priority demand declares it in its run block.
+		if !set["gen"] {
+			over.Generation = 0
+		}
+		if !set["channels"] {
+			over.Channels = 0
+		}
+		if !set["chan-scheme"] {
+			over.Scheme = ""
+		}
+		if !set["cycles"] {
+			over.Cycles = 0
+		}
+		if !set["seed"] {
+			over.Seed = 0
+		}
+		if !set["priority"] {
+			over.PriorityDemand = false
+		}
+		app, err = sp.App()
+		if err != nil {
+			fatal(err)
+		}
+		base, err = sp.SystemConfig(over)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		app, err = appmodel.ByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = scenario.Resolve(app, over)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	base.Checked = *checked
 
 	// Build the grid: one label + config per point, in emission order.
 	var points []string

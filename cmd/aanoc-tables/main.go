@@ -29,6 +29,7 @@ import (
 func main() {
 	var (
 		table    = flag.String("table", "all", "which table to print: 1, 2, 3 or all")
+		specPath = flag.String("spec", "", "scenario spec file (JSON); the tables run on the spec's platform instead of the builtin apps")
 		cycles   = flag.Int64("cycles", 200_000, "simulated cycles per configuration")
 		seed     = flag.Uint64("seed", 0, "RNG seed")
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
@@ -45,6 +46,14 @@ func main() {
 		os.Exit(1)
 	}
 	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel, Checked: *checked}
+	if *specPath != "" {
+		sp, err := aanoc.LoadSpec(*specPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
+			os.Exit(1)
+		}
+		o.Spec = sp
+	}
 	if *progress {
 		o.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)

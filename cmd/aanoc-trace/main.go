@@ -15,8 +15,8 @@ import (
 	"os"
 
 	"aanoc/internal/appmodel"
-	"aanoc/internal/dram"
 	"aanoc/internal/obs"
+	"aanoc/internal/scenario"
 	"aanoc/internal/system"
 	"aanoc/internal/trace"
 )
@@ -26,6 +26,7 @@ func main() {
 		record   = flag.String("record", "", "capture a trace to this file")
 		replay   = flag.String("replay", "", "replay a trace from this file")
 		appName  = flag.String("app", "bluray", "application model")
+		specPath = flag.String("spec", "", "scenario spec file (JSON); replaces -app, explicit flags override the spec's run block")
 		gen      = flag.Int("gen", 2, "DDR generation")
 		design   = flag.String("design", "GSS", "design under test")
 		all      = flag.Bool("all", false, "replay through every design")
@@ -38,15 +39,51 @@ func main() {
 	if (*record == "") == (*replay == "") {
 		fatal(fmt.Errorf("exactly one of -record or -replay is required"))
 	}
-	app, err := appmodel.ByName(*appName)
-	if err != nil {
-		fatal(err)
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	over := scenario.Run{
+		Generation: *gen, Cycles: *cycles, Seed: *seed,
+		PriorityDemand: *priority,
 	}
-	base := system.Config{
-		App: app, Gen: dram.Generation(*gen),
-		Cycles: *cycles, Seed: *seed, PriorityDemand: *priority,
-		Checked: *checked,
+	// Both entry points funnel through scenario.Resolve, the same
+	// validation path the facade uses.
+	var base system.Config
+	if *specPath != "" {
+		if set["app"] {
+			fatal(fmt.Errorf("-spec and -app are mutually exclusive"))
+		}
+		sp, err := scenario.Load(*specPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Only explicitly set flags override the spec's run block.
+		if !set["gen"] {
+			over.Generation = 0
+		}
+		if !set["cycles"] {
+			over.Cycles = 0
+		}
+		if !set["seed"] {
+			over.Seed = 0
+		}
+		if !set["priority"] {
+			over.PriorityDemand = false
+		}
+		base, err = sp.SystemConfig(over)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		app, err := appmodel.ByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		base, err = scenario.Resolve(app, over)
+		if err != nil {
+			fatal(err)
+		}
 	}
+	base.Checked = *checked
 
 	if *record != "" {
 		d, err := system.ParseDesign(*design)

@@ -57,6 +57,14 @@ type Report struct {
 	NIs    []NI   `json:"nis"`
 	Memory Memory `json:"memory"`
 
+	// Workload is the per-stream production breakdown of a calibration
+	// run (system.Config.WorkloadStats), in core then stream order: what
+	// each traffic generator actually produced, for the scenario
+	// statistical-calibration layer to compare against the declared
+	// distributions. Absent by default, so golden sidecars stay
+	// byte-identical whether or not the binary knows about it.
+	Workload []StreamWorkload `json:"workload,omitempty"`
+
 	// SampleEvery echoes the sampling interval; Samples is the time
 	// series, one entry per interval boundary (absent when sampling off).
 	SampleEvery int64    `json:"sampleEvery,omitempty"`
@@ -169,6 +177,33 @@ type NI struct {
 	StallCycles   int64 `json:"stallCycles"`
 	// SinkReadyHWM is the response-sink ready-list high-water mark.
 	SinkReadyHWM int `json:"sinkReadyHWM"`
+}
+
+// StreamWorkload is one traffic stream's observed production. The
+// counters are maintained by the generator itself (not derived from
+// completions), so they reflect the produced distribution even when the
+// memory system drops behind.
+type StreamWorkload struct {
+	Core   string `json:"core"`
+	Stream string `json:"stream"`
+	// Produced counts generated logical requests; Reads and Writes split
+	// them by direction (Produced = Reads + Writes always).
+	Produced int64 `json:"produced"`
+	Reads    int64 `json:"reads"`
+	Writes   int64 `json:"writes"`
+	// BlockedCycles counts generation opportunities lost to injection
+	// backpressure — the saturation signal the calibration layer uses to
+	// tell load deficit from distribution drift.
+	BlockedCycles int64 `json:"blockedCycles"`
+	// Beats is the produced burst-size histogram over the stream's menu,
+	// ascending by size; the bin counts sum to Produced.
+	Beats []BeatBin `json:"beats"`
+}
+
+// BeatBin is one burst-size bin of a stream's production histogram.
+type BeatBin struct {
+	Beats int   `json:"beats"`
+	Count int64 `json:"count"`
 }
 
 // BankStat mirrors dram.BankCounters with its bank index attached.
@@ -339,6 +374,27 @@ func (r *Report) Validate() error {
 	for _, s := range r.Samples {
 		if s.Cycle <= 0 || s.Cycle > r.Cycles {
 			return fmt.Errorf("obs: sample cycle %d outside run (0,%d]", s.Cycle, r.Cycles)
+		}
+	}
+	for _, w := range r.Workload {
+		if w.Produced != w.Reads+w.Writes {
+			return fmt.Errorf("obs: workload %s/%s produced %d but reads %d + writes %d",
+				w.Core, w.Stream, w.Produced, w.Reads, w.Writes)
+		}
+		var sum int64
+		prev := 0
+		for _, b := range w.Beats {
+			if b.Beats <= prev {
+				return fmt.Errorf("obs: workload %s/%s beat bins not ascending positive", w.Core, w.Stream)
+			}
+			if b.Count < 0 {
+				return fmt.Errorf("obs: workload %s/%s negative bin count", w.Core, w.Stream)
+			}
+			prev = b.Beats
+			sum += b.Count
+		}
+		if sum != w.Produced {
+			return fmt.Errorf("obs: workload %s/%s bins sum %d of %d produced", w.Core, w.Stream, sum, w.Produced)
 		}
 	}
 	for _, ch := range r.Memory.Channels {

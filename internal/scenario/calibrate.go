@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/obs"
+)
+
+// Tolerance bounds the statistical-calibration checks. The defaults are
+// seeded-run tolerances: wide enough that a correct generator passes
+// every seed (the checks are deterministic for a given seed), tight
+// enough that a drifted distribution — a wrong read mix, a missing
+// burst-size bin, a mis-scaled load — fails (the mutation tests pin
+// this non-vacuously).
+type Tolerance struct {
+	// MinSamples is the per-stream sample floor below which the
+	// per-stream checks are skipped (default 64); the aggregate mixture
+	// checks run at any size.
+	MinSamples int64
+	// Sigma scales the binomial/renewal standard-error term (default 5).
+	Sigma float64
+	// FracSlack is the absolute slack added to every fraction check
+	// (default 0.02).
+	FracSlack float64
+	// RateSlack is the relative slack on the injection-rate check
+	// (default 0.12, covering the ±40% arrival jitter's small-sample
+	// bias and the start-time desynchronisation).
+	RateSlack float64
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.MinSamples == 0 {
+		t.MinSamples = 64
+	}
+	if t.Sigma == 0 {
+		t.Sigma = 5
+	}
+	if t.FracSlack == 0 {
+		t.FracSlack = 0.02
+	}
+	if t.RateSlack == 0 {
+		t.RateSlack = 0.12
+	}
+	return t
+}
+
+// Miss is one calibration failure: an observed statistic outside its
+// tolerance band around the spec's declared value. Core/Stream are
+// empty for the aggregate (whole-workload) checks.
+type Miss struct {
+	Core   string
+	Stream string
+	// Metric names the check: "missing-workload", "read-frac",
+	// "beats-share[8]", "rate".
+	Metric string
+	Want   float64
+	Got    float64
+	// Tol is the half-width of the accepted band around Want.
+	Tol float64
+}
+
+// String renders the miss on one line.
+func (m Miss) String() string {
+	where := "aggregate"
+	if m.Stream != "" {
+		where = m.Core + "/" + m.Stream
+	}
+	return fmt.Sprintf("%s: %s: want %.4g ± %.4g, got %.4g", where, m.Metric, m.Want, m.Tol, m.Got)
+}
+
+// Calibrate compares a run's observed workload statistics against the
+// spec's declared distributions and returns every miss (empty when the
+// run is calibrated). The report must come from a run with workload
+// collection enabled (system.Config.WorkloadStats); a spec stream with
+// no workload entry is itself a miss.
+//
+// Per-stream checks (read fraction, burst-size histogram, open-loop
+// injection rate) run above the MinSamples floor; the aggregate mixture
+// checks weight each stream's declared distribution by its observed
+// request count, so they are exact conditional expectations at any
+// sample size and any backpressure level. The injection-rate check is
+// skipped for streams with visible backpressure — a saturated open-loop
+// stream legitimately produces less than its offered load, which is
+// deficit, not drift.
+func Calibrate(s *Spec, rep *obs.Report, tol Tolerance) []Miss {
+	tol = tol.withDefaults()
+	var misses []Miss
+
+	byKey := map[string]obs.StreamWorkload{}
+	for _, w := range rep.Workload {
+		byKey[w.Core+"\x00"+w.Stream] = w
+	}
+
+	// Aggregate accumulators: expected counts weighted by each stream's
+	// observed production.
+	var totN, totReads, expReads, readVar float64
+	expBeats := map[int]float64{}
+	gotBeats := map[int]float64{}
+
+	for _, c := range s.Cores {
+		for _, st := range c.Streams {
+			w, ok := byKey[c.Name+"\x00"+st.Name]
+			if !ok {
+				misses = append(misses, Miss{Core: c.Name, Stream: st.Name, Metric: "missing-workload"})
+				continue
+			}
+			n := float64(w.Produced)
+			totN += n
+			totReads += float64(w.Reads)
+			expReads += n * st.ReadFrac
+			readVar += n * st.ReadFrac * (1 - st.ReadFrac)
+			menu := menuShares(st.Beats)
+			for b, share := range menu {
+				expBeats[b] += n * share
+			}
+			for _, bin := range w.Beats {
+				gotBeats[bin.Beats] += float64(bin.Count)
+				if menu[bin.Beats] == 0 {
+					// A burst size outside the declared menu is drift at
+					// any sample count.
+					misses = append(misses, Miss{
+						Core: c.Name, Stream: st.Name,
+						Metric: fmt.Sprintf("beats-share[%d]", bin.Beats),
+						Want:   0, Got: float64(bin.Count) / math.Max(n, 1), Tol: 0,
+					})
+				}
+			}
+			if w.Produced >= tol.MinSamples {
+				misses = append(misses, checkStream(c.Name, st, w, rep.Cycles, tol)...)
+			}
+		}
+	}
+
+	// Aggregate read fraction: sum of independent per-stream binomials.
+	if totN > 0 {
+		want := expReads / totN
+		got := totReads / totN
+		band := tol.Sigma*math.Sqrt(readVar)/totN + tol.FracSlack
+		if math.Abs(got-want) > band {
+			misses = append(misses, Miss{Metric: "read-frac", Want: want, Got: got, Tol: band})
+		}
+		for b, exp := range expBeats {
+			want := exp / totN
+			got := gotBeats[b] / totN
+			band := tol.Sigma*math.Sqrt(want*(1-want)/totN) + tol.FracSlack
+			if math.Abs(got-want) > band {
+				misses = append(misses, Miss{
+					Metric: fmt.Sprintf("beats-share[%d]", b),
+					Want:   want, Got: got, Tol: band,
+				})
+			}
+		}
+	}
+	return misses
+}
+
+// checkStream runs the per-stream checks for one calibrated stream.
+func checkStream(core string, st StreamSpec, w obs.StreamWorkload, cycles int64, tol Tolerance) []Miss {
+	var misses []Miss
+	n := float64(w.Produced)
+
+	want := st.ReadFrac
+	got := float64(w.Reads) / n
+	band := tol.Sigma*math.Sqrt(want*(1-want)/n) + tol.FracSlack
+	if math.Abs(got-want) > band {
+		misses = append(misses, Miss{Core: core, Stream: st.Name, Metric: "read-frac", Want: want, Got: got, Tol: band})
+	}
+
+	obsShare := map[int]float64{}
+	for _, bin := range w.Beats {
+		obsShare[bin.Beats] = float64(bin.Count) / n
+	}
+	for b, share := range menuShares(st.Beats) {
+		got := obsShare[b]
+		band := tol.Sigma*math.Sqrt(share*(1-share)/n) + tol.FracSlack
+		if math.Abs(got-share) > band {
+			misses = append(misses, Miss{
+				Core: core, Stream: st.Name,
+				Metric: fmt.Sprintf("beats-share[%d]", b),
+				Want:   share, Got: got, Tol: band,
+			})
+		}
+	}
+
+	if !st.ClosedLoop && cycles > 0 {
+		exp := float64(cycles) / expectedInterarrival(st.Beats, st.LoadFrac)
+		// Visible backpressure means the stream could not realise its
+		// offered load; the production count is then a deficit report,
+		// not a generator statistic.
+		if float64(w.BlockedCycles) <= 0.02*exp && exp >= float64(tol.MinSamples) {
+			band := tol.RateSlack*exp + tol.Sigma*math.Sqrt(exp)
+			if math.Abs(n-exp) > band {
+				misses = append(misses, Miss{Core: core, Stream: st.Name, Metric: "rate", Want: exp, Got: n, Tol: band})
+			}
+		}
+	}
+	return misses
+}
+
+// menuShares returns each distinct burst size's draw probability under
+// the uniform-with-repeats menu semantics.
+func menuShares(beats []int) map[int]float64 {
+	shares := map[int]float64{}
+	if len(beats) == 0 {
+		return shares
+	}
+	p := 1 / float64(len(beats))
+	for _, b := range beats {
+		shares[b] += p
+	}
+	return shares
+}
+
+// expectedInterarrival returns the mean open-loop request interval in
+// cycles, reproducing the generator's arithmetic (integer rounding per
+// menu entry; the ±40% jitter is mean-preserving up to its floor).
+func expectedInterarrival(beats []int, load float64) float64 {
+	var sum float64
+	for _, b := range beats {
+		sum += float64(int64(float64(dram.BurstCycles(b))/load + 0.5))
+	}
+	return sum / float64(len(beats))
+}

@@ -1,0 +1,259 @@
+package scenario
+
+import (
+	"fmt"
+
+	"aanoc/internal/dram"
+	"aanoc/internal/sim"
+)
+
+// GenOptions tunes the scenario generator's distributions. The zero
+// value selects the defaults listed per field.
+type GenOptions struct {
+	// MeshMin/MeshMax bound the mesh side lengths (defaults 3 and 6;
+	// set both to 16 for the CI's large-mesh leg).
+	MeshMin, MeshMax int
+	// MaxPorts caps the memory-port count (default 4, the corner
+	// placement's maximum).
+	MaxPorts int
+	// LoadMin/LoadMax bound the aggregate open-loop offered load as a
+	// fraction of one channel's data-bus bandwidth (defaults 0.35 and
+	// 0.65), scaled by the drawn channel count. Below saturation the
+	// calibration layer can check per-stream injection rates; the
+	// saturated paper regime is the builtin apps' job.
+	LoadMin, LoadMax float64
+	// CoreFracMin/CoreFracMax bound the fraction of non-port mesh tiles
+	// populated with cores (defaults 0.5 and 0.9).
+	CoreFracMin, CoreFracMax float64
+}
+
+// withDefaults fills zero fields.
+func (o GenOptions) withDefaults() GenOptions {
+	if o.MeshMin == 0 {
+		o.MeshMin = 3
+	}
+	if o.MeshMax == 0 {
+		o.MeshMax = 6
+	}
+	if o.MaxPorts == 0 {
+		o.MaxPorts = 4
+	}
+	if o.LoadMin == 0 {
+		o.LoadMin = 0.35
+	}
+	if o.LoadMax == 0 {
+		o.LoadMax = 0.65
+	}
+	if o.CoreFracMin == 0 {
+		o.CoreFracMin = 0.5
+	}
+	if o.CoreFracMax == 0 {
+		o.CoreFracMax = 0.9
+	}
+	return o
+}
+
+// rowRegion hands out disjoint 256-row regions by core index, mirroring
+// the appmodel layout (cross-stream conflicts come from bank sharing).
+func rowRegion(i int) (base, size int) { return (i * 256) % 4096, 256 }
+
+// Generate builds one valid scenario from the seed: a pure function of
+// (seed, options), so the same inputs always return a deeply-equal spec
+// — the determinism contract the property tests pin. Every generated
+// spec passes Validate; the statistical-calibration harness
+// additionally asserts that running it reproduces the declared
+// distributions.
+func Generate(seed uint64, o GenOptions) *Spec {
+	o = o.withDefaults()
+	rng := sim.NewRNG(seed ^ 0x5ce1a210)
+
+	span := o.MeshMax - o.MeshMin + 1
+	w := o.MeshMin + rng.Intn(span)
+	h := o.MeshMin + rng.Intn(span)
+
+	// Memory ports sit in mesh corners, the canonical (0,0) first — the
+	// paper's placement, scaled the way the bluray2/ddtv4 models scale.
+	corners := []Coord{{0, 0}, {w - 1, h - 1}, {0, h - 1}, {w - 1, 0}}
+	nPorts := sim.Pick(rng, []int{1, 1, 2, 2, 4})
+	if nPorts > o.MaxPorts {
+		nPorts = o.MaxPorts
+	}
+	if nPorts > len(corners) {
+		nPorts = len(corners)
+	}
+	ports := corners[:nPorts]
+
+	channels := 1 + rng.Intn(nPorts)
+	scheme := ""
+	if channels > 1 && channels&(channels-1) == 0 && rng.Intn(2) == 0 {
+		scheme = "chan-bank-xor"
+	}
+	sched := sim.Pick(rng, []string{"", "", "", "", "dpq", "regulated", "staged"})
+
+	s := &Spec{
+		Name:     fmt.Sprintf("scn-%x", seed),
+		Mesh:     Mesh{Width: w, Height: h},
+		MemPorts: append([]Coord(nil), ports...),
+		Clocks: Clocks{
+			DDR1: sim.Pick(rng, dram.Speeds(dram.DDR1)),
+			DDR2: sim.Pick(rng, dram.Speeds(dram.DDR2)),
+			DDR3: sim.Pick(rng, dram.Speeds(dram.DDR3)),
+		},
+		Run: &Run{
+			Generation:     1 + rng.Intn(3),
+			Channels:       channels,
+			Scheme:         scheme,
+			Scheduler:      sched,
+			PriorityDemand: rng.Intn(2) == 0,
+			Seed:           seed,
+		},
+	}
+
+	// Free tiles, shuffled; the first nCores get cores.
+	used := map[Coord]bool{}
+	for _, p := range ports {
+		used[p] = true
+	}
+	var free []Coord
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if c := (Coord{x, y}); !used[c] {
+				free = append(free, c)
+			}
+		}
+	}
+	for i := len(free) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		free[i], free[j] = free[j], free[i]
+	}
+	frac := o.CoreFracMin + (o.CoreFracMax-o.CoreFracMin)*rng.Float64()
+	nCores := int(frac*float64(len(free)) + 0.5)
+	if nCores < 1 {
+		nCores = 1
+	}
+	if nCores > len(free) {
+		nCores = len(free)
+	}
+
+	// Build cores from templates; open-loop loads carry raw weights first
+	// and are normalised to the aggregate target afterwards.
+	type loaded struct{ core, stream int }
+	var open []loaded
+	var weights []float64
+	target := (o.LoadMin + (o.LoadMax-o.LoadMin)*rng.Float64()) * float64(channels)
+	for i := 0; i < nCores; i++ {
+		at := free[i]
+		var core CoreSpec
+		var ws []float64
+		switch kind := rng.Intn(100); {
+		case kind < 35:
+			core, ws = genStreamer(rng, i, at)
+		case kind < 60:
+			core, ws = genCodec(rng, i, at)
+		case kind < 75:
+			core, ws = genCPU(rng, i, at)
+		default:
+			core, ws = genBackground(rng, i, at)
+		}
+		for si := range core.Streams {
+			if !core.Streams[si].ClosedLoop {
+				open = append(open, loaded{len(s.Cores), si})
+				weights = append(weights, ws[si])
+			}
+		}
+		s.Cores = append(s.Cores, core)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for k, at := range open {
+		load := weights[k] / sum * target
+		if load < 0.003 {
+			load = 0.003
+		}
+		if load > 0.9 {
+			load = 0.9
+		}
+		s.Cores[at.core].Streams[at.stream].LoadFrac = load
+	}
+	return s
+}
+
+// genStreamer builds a long-packet streaming core (enhancer/scaler/IO
+// class). The returned weights parallel the streams.
+func genStreamer(rng *sim.RNG, i int, at Coord) (CoreSpec, []float64) {
+	base, size := rowRegion(i)
+	beats := sim.Pick(rng, [][]int{{64}, {128}, {96, 128}, {64, 96}, {20, 36}, {32, 64}})
+	return CoreSpec{
+		Name: fmt.Sprintf("streamer%d", i), At: at,
+		Streams: []StreamSpec{{
+			Name: fmt.Sprintf("streamer%d.stream", i), Class: "media",
+			ReadFrac: sim.Pick(rng, []float64{0.3, 0.4, 0.5, 0.6}),
+			Beats:    append([]int(nil), beats...),
+			Pattern:  "streaming", BankOffset: i, RowBase: base, RowRange: size,
+		}},
+	}, []float64{2 + 2*rng.Float64()}
+}
+
+// genCodec builds a decoder/encoder: short scattered motion-compensation
+// reads plus streaming writeback.
+func genCodec(rng *sim.RNG, i int, at Coord) (CoreSpec, []float64) {
+	base, size := rowRegion(i)
+	name := fmt.Sprintf("codec%d", i)
+	return CoreSpec{
+		Name: name, At: at,
+		Streams: []StreamSpec{
+			{
+				Name: name + ".mc", Class: "media",
+				ReadFrac: 1.0, Beats: []int{2, 4, 4, 8, 12},
+				Pattern: "random", BankOffset: i, RowBase: base, RowRange: size,
+			},
+			{
+				Name: name + ".wb", Class: "media",
+				ReadFrac: 0.0, Beats: []int{12, 20},
+				Pattern: "streaming", BankOffset: i + 2, RowBase: base + 128, RowRange: size / 2,
+			},
+		},
+	}, []float64{0.8 + 0.6*rng.Float64(), 0.5 + 0.4*rng.Float64()}
+}
+
+// genCPU builds a microprocessor: a closed-loop demand stream plus an
+// open-loop prefetcher.
+func genCPU(rng *sim.RNG, i int, at Coord) (CoreSpec, []float64) {
+	base, size := rowRegion(i)
+	name := fmt.Sprintf("cpu%d", i)
+	return CoreSpec{
+		Name: name, At: at,
+		Streams: []StreamSpec{
+			{
+				Name: name + ".demand", Class: "demand",
+				ReadFrac: 0.8, Beats: []int{8}, ClosedLoop: true,
+				ThinkTime:      int64(20 + rng.Intn(100)),
+				MaxOutstanding: 2 + rng.Intn(4),
+				Pattern:        "random", BankOffset: i, RowBase: base, RowRange: size,
+			},
+			{
+				Name: name + ".prefetch", Class: "prefetch",
+				ReadFrac: 1.0, Beats: []int{8, 16},
+				Pattern: "streaming", BankOffset: i + 1, RowBase: base, RowRange: size,
+			},
+		},
+	}, []float64{0, 0.2 + 0.2*rng.Float64()}
+}
+
+// genBackground builds a low-rate core (audio/OSD/peripheral class).
+func genBackground(rng *sim.RNG, i int, at Coord) (CoreSpec, []float64) {
+	base, size := rowRegion(i)
+	name := fmt.Sprintf("bg%d", i)
+	pat := sim.Pick(rng, []string{"streaming", "random"})
+	return CoreSpec{
+		Name: name, At: at,
+		Streams: []StreamSpec{{
+			Name: name + ".bg", Class: "peripheral",
+			ReadFrac: sim.Pick(rng, []float64{0.5, 0.6}),
+			Beats:    append([]int(nil), sim.Pick(rng, [][]int{{2, 4}, {4, 12}, {36}})...),
+			Pattern:  pat, BankOffset: i, RowBase: base, RowRange: size,
+		}},
+	}, []float64{0.15 + 0.2*rng.Float64()}
+}

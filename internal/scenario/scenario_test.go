@@ -1,0 +1,319 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/sweep"
+	"aanoc/internal/system"
+)
+
+func builtins() []appmodel.App {
+	return append(appmodel.Apps(), appmodel.Scaled()...)
+}
+
+// TestGenerateDeterministic pins the generator's determinism contract:
+// the same (seed, options) returns a deeply-equal spec, and the specs
+// resolve to configurations with equal sweep fingerprints — so a
+// regenerated scenario hits the sweep cache instead of re-simulating.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		a := Generate(seed, GenOptions{})
+		b := Generate(seed, GenOptions{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two Generate calls disagree", seed)
+		}
+		ca, err := a.SystemConfig(Run{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cb, err := b.SystemConfig(Run{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fa, oka := sweep.Fingerprint(ca)
+		fb, okb := sweep.Fingerprint(cb)
+		if !oka || !okb || fa != fb {
+			t.Fatalf("seed %d: fingerprints diverge (%q vs %q)", seed, fa, fb)
+		}
+	}
+	if reflect.DeepEqual(Generate(1, GenOptions{}), Generate(2, GenOptions{})) {
+		t.Fatal("different seeds generated identical specs")
+	}
+}
+
+// TestGenerateValidates asserts every generated spec passes Validate —
+// the generator is not allowed to emit scenarios the platform rejects.
+func TestGenerateValidates(t *testing.T) {
+	for seed := uint64(1); seed <= 200; seed++ {
+		if err := Generate(seed, GenOptions{}).Validate(); err != nil {
+			t.Fatalf("seed %d: generated spec invalid: %v", seed, err)
+		}
+	}
+	// The CI large-mesh leg's options too.
+	if err := Generate(3, GenOptions{MeshMin: 16, MeshMax: 16}).Validate(); err != nil {
+		t.Fatalf("16x16 spec invalid: %v", err)
+	}
+}
+
+// TestSpecRoundTrip: WriteJSON then Parse is the identity on specs.
+func TestSpecRoundTrip(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		s := Generate(seed, GenOptions{})
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(buf.Bytes())
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("seed %d: spec did not round-trip through JSON", seed)
+		}
+		if s.Hash() != back.Hash() {
+			t.Fatalf("seed %d: content hash changed across the round trip", seed)
+		}
+	}
+}
+
+// TestFromAppRoundTrip: every builtin application model survives the
+// trip to spec form and back deeply equal — the exactness the golden
+// spec corpus (testdata/specs in the root package) relies on.
+func TestFromAppRoundTrip(t *testing.T) {
+	for _, a := range builtins() {
+		s := FromApp(a)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: FromApp spec invalid: %v", a.Name, err)
+		}
+		back, err := s.App()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if !reflect.DeepEqual(a, back) {
+			t.Fatalf("%s: FromApp(a).App() != a", a.Name)
+		}
+	}
+}
+
+// TestParseErrors pins the Parse error contract: non-spec JSON wraps
+// ErrParse, well-formed JSON describing an impossible scenario wraps
+// ErrSpec or a field sentinel — and nothing panics.
+func TestParseErrors(t *testing.T) {
+	valid := func() *Spec { return FromApp(appmodel.BluRay()) }
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"syntax", []byte(`{"name":`), ErrParse},
+		{"empty", nil, ErrParse},
+		{"unknown-field", []byte(`{"name":"x","bogus":1}`), ErrParse},
+		{"type-mismatch", []byte(`{"name":3}`), ErrParse},
+		{"trailing-data", append(mustJSON(t, valid()), []byte("{}")...), ErrParse},
+		{"no-name", []byte(`{"mesh":{"width":3,"height":3},"memPorts":[{"x":0,"y":0}]}`), ErrSpec},
+		{"no-ports", []byte(`{"name":"x","mesh":{"width":3,"height":3}}`), ErrSpec},
+		{"bad-class", mutate(t, valid(), func(s *Spec) { s.Cores[0].Streams[0].Class = "bulk" }), ErrSpec},
+		{"bad-pattern", mutate(t, valid(), func(s *Spec) { s.Cores[0].Streams[0].Pattern = "zigzag" }), ErrSpec},
+		{"bad-clock", mutate(t, valid(), func(s *Spec) { s.Clocks.DDR2 = 250 }), ErrSpec},
+		{"missing-clock", mutate(t, valid(), func(s *Spec) { s.Clocks.DDR1 = 0 }), ErrSpec},
+		{"core-on-port", mutate(t, valid(), func(s *Spec) { s.Cores[0].At = s.MemPorts[0] }), ErrSpec},
+		{"bad-generation", mutate(t, valid(), func(s *Spec) { s.Run = &Run{Generation: 9} }), ErrBadGeneration},
+		{"bad-channels", mutate(t, valid(), func(s *Spec) { s.Run = &Run{Channels: 2} }), ErrBadChannels},
+		{"bad-scheme", mutate(t, valid(), func(s *Spec) { s.Run = &Run{Scheme: "stripe"} }), ErrBadScheme},
+		{"bad-scheduler", mutate(t, valid(), func(s *Spec) { s.Run = &Run{Scheduler: "fcfs"} }), ErrUnknownScheduler},
+		{"bad-sample-every", mutate(t, valid(), func(s *Spec) { s.Run = &Run{SampleEvery: -1} }), ErrBadSampleEvery},
+		{"bad-cycles", mutate(t, valid(), func(s *Spec) { s.Run = &Run{Cycles: -5} }), ErrSpec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.data)
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Parse error %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// mustJSON marshals a spec for test input.
+func mustJSON(t *testing.T, s *Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mutate applies an edit to a freshly built spec and returns its JSON.
+func mutate(t *testing.T, s *Spec, f func(*Spec)) []byte {
+	t.Helper()
+	f(s)
+	return mustJSON(t, s)
+}
+
+// TestResolveSentinels drives the shared validation path directly with
+// the same inputs the facade parity table (root package) uses, so a
+// sentinel regression is caught on both sides of the API boundary.
+func TestResolveSentinels(t *testing.T) {
+	app := appmodel.BluRay()
+	quad := appmodel.QuadDTV()
+	cases := []struct {
+		name string
+		app  appmodel.App
+		run  Run
+		want error
+	}{
+		{"gen-high", app, Run{Generation: 9}, ErrBadGeneration},
+		{"gen-negative", app, Run{Generation: -1}, ErrBadGeneration},
+		{"channels-negative", app, Run{Channels: -1}, ErrBadChannels},
+		{"channels-over-ports", app, Run{Channels: 2}, ErrBadChannels},
+		{"channels-xor-odd", quad, Run{Channels: 3, Scheme: "chan-bank-xor"}, ErrBadChannels},
+		{"scheme", app, Run{Scheme: "stripe"}, ErrBadScheme},
+		{"scheduler", app, Run{Scheduler: "fcfs"}, ErrUnknownScheduler},
+		{"sample-every", app, Run{SampleEvery: -1}, ErrBadSampleEvery},
+		{"cycles", app, Run{Cycles: -1}, ErrSpec},
+		{"bad-app", appmodel.App{}, Run{}, ErrSpec},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Resolve(tc.app, tc.run); !errors.Is(err, tc.want) {
+				t.Fatalf("Resolve error %v, want %v", err, tc.want)
+			}
+		})
+	}
+	// The happy path resolves the documented defaults.
+	cfg, err := Resolve(app, Run{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Gen != 2 || cfg.Channels != 1 {
+		t.Fatalf("defaults: gen=%d channels=%d, want 2/1", cfg.Gen, cfg.Channels)
+	}
+}
+
+// TestMergeOverlay pins the zero-field overlay semantics: nonzero
+// override fields win, zero fields fall through, PriorityDemand ORs.
+func TestMergeOverlay(t *testing.T) {
+	def := Run{Generation: 3, ClockMHz: 667, Channels: 2, Scheme: "chan-bank-xor",
+		Scheduler: "dpq", PriorityDemand: true, Cycles: 1000, Warmup: 10, Seed: 7, SampleEvery: 50}
+	got := Run{}.Merge(def)
+	if !reflect.DeepEqual(got, def) {
+		t.Fatalf("zero override did not inherit the spec block: %+v", got)
+	}
+	over := Run{Generation: 1, Scheduler: "staged", Cycles: 99}
+	got = over.Merge(def)
+	if got.Generation != 1 || got.Scheduler != "staged" || got.Cycles != 99 {
+		t.Fatalf("nonzero override fields lost: %+v", got)
+	}
+	if got.ClockMHz != 667 || got.Channels != 2 || !got.PriorityDemand || got.Seed != 7 {
+		t.Fatalf("zero override fields did not fall through: %+v", got)
+	}
+}
+
+// runWorkload runs a spec with workload collection on and returns the
+// spec and its report.
+func runWorkload(t *testing.T, seed uint64, cycles int64) (*Spec, system.Result) {
+	t.Helper()
+	s := Generate(seed, GenOptions{})
+	cfg, err := s.SystemConfig(Run{Cycles: cycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Design = system.GSSSAGM
+	cfg.WorkloadStats = true
+	res, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, res
+}
+
+// TestCalibrateClean: a generated scenario, run as declared, calibrates
+// with zero misses — the headline contract of the scenario platform.
+func TestCalibrateClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system calibration runs")
+	}
+	for _, seed := range []uint64{7, 11, 23} {
+		s, res := runWorkload(t, seed, 20_000)
+		if misses := Calibrate(s, res.Obs, Tolerance{}); len(misses) > 0 {
+			for _, m := range misses {
+				t.Errorf("seed %d: %s", seed, m)
+			}
+		}
+	}
+}
+
+// TestCalibrateDetectsDrift proves the calibration layer is not
+// vacuous: tampering with the declared distributions after the run must
+// produce misses. Each mutation models a real generator bug.
+func TestCalibrateDetectsDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system calibration run")
+	}
+	s, res := runWorkload(t, 7, 20_000)
+
+	// Find the busiest stream so the tampered checks clear MinSamples.
+	bi := 0
+	for i, w := range res.Obs.Workload {
+		if w.Produced > res.Obs.Workload[bi].Produced {
+			bi = i
+		}
+	}
+	busiest := res.Obs.Workload[bi]
+	locate := func(sp *Spec) *StreamSpec {
+		for ci := range sp.Cores {
+			if sp.Cores[ci].Name != busiest.Core {
+				continue
+			}
+			for si := range sp.Cores[ci].Streams {
+				if sp.Cores[ci].Streams[si].Name == busiest.Stream {
+					return &sp.Cores[ci].Streams[si]
+				}
+			}
+		}
+		t.Fatalf("stream %s/%s not in spec", busiest.Core, busiest.Stream)
+		return nil
+	}
+	copySpec := func() *Spec {
+		back, err := Parse(mustJSON(t, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back
+	}
+
+	mutations := []struct {
+		name   string
+		tamper func(*Spec)
+	}{
+		{"read-frac", func(sp *Spec) {
+			st := locate(sp)
+			if st.ReadFrac < 0.5 {
+				st.ReadFrac = 0.95
+			} else {
+				st.ReadFrac = 0.05
+			}
+		}},
+		{"beats-menu", func(sp *Spec) { locate(sp).Beats = []int{3} }},
+		{"phantom-stream", func(sp *Spec) {
+			c := &sp.Cores[0]
+			ghost := c.Streams[0]
+			ghost.Name = "ghost"
+			c.Streams = append(c.Streams, ghost)
+		}},
+	}
+	for _, mu := range mutations {
+		t.Run(mu.name, func(t *testing.T) {
+			sp := copySpec()
+			mu.tamper(sp)
+			if misses := Calibrate(sp, res.Obs, Tolerance{}); len(misses) == 0 {
+				t.Fatal("tampered spec calibrated clean — the check is vacuous")
+			}
+		})
+	}
+}

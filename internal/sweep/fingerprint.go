@@ -55,6 +55,11 @@ func Fingerprint(cfg system.Config) (string, bool) {
 		c.Cycles, c.Warmup, c.Seed, c.BufFlits, c.VirtualChannels,
 		c.AdaptiveRouting, c.InjectCap, c.MemPipeline, c.SplitGranularity,
 		c.TagEveryRequest, c.SampleEvery, c.Checked)
+	// The spec hash ties a spec-driven run to its workload content; the
+	// workload-stats flag shapes the report (like SampleEvery/Checked)
+	// without perturbing the simulation, so it must split cache entries
+	// the same way.
+	fmt.Fprintf(h, "spec=%s wl=%t|", c.SpecHash, c.WorkloadStats)
 	if c.PagePolicy != nil {
 		fmt.Fprintf(h, "page=%d|", *c.PagePolicy)
 	}

@@ -114,6 +114,20 @@ type Config struct {
 	// simulation, so it cannot perturb results.
 	SampleEvery int64
 
+	// SpecHash identifies the scenario spec the configuration was
+	// resolved from (scenario.Spec.Hash; empty for builtin app models).
+	// It never perturbs the simulation, but the sweep fingerprint keys
+	// on it so two spec-driven runs with different workload content
+	// never share a cache entry even if their resolved app models
+	// coincide by name.
+	SpecHash string
+	// WorkloadStats includes the per-stream production breakdown
+	// (obs.Report.Workload: read/write split, burst-size histogram,
+	// blocked cycles) in the run report — the input of the scenario
+	// calibration layer. Off by default so default sidecars stay
+	// byte-identical; the counters themselves are always maintained.
+	WorkloadStats bool
+
 	// Checked enables the internal/check invariant layer: a DRAM protocol
 	// conformance monitor on the device's command stream, per-cycle
 	// credit/flit conservation audits over both meshes, and end-of-run
@@ -359,6 +373,12 @@ func New(cfg Config) (*Runner, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.App.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.SampleEvery < 0 {
+		// The facade rejects this with ErrBadSampleEvery; rejecting it
+		// here too keeps direct system.Config users (aanoc-sim and the
+		// other CLIs) on the same validation surface.
+		return nil, fmt.Errorf("system: negative sampling interval %d", cfg.SampleEvery)
 	}
 	timing, err := dram.Speed(cfg.Gen, cfg.ClockMHz)
 	if err != nil {
@@ -964,7 +984,34 @@ func (r *Runner) buildReport() *obs.Report {
 		})
 	}
 	r.buildMemoryReport(rep)
+	if cfg.WorkloadStats {
+		r.buildWorkloadReport(rep)
+	}
 	return rep
+}
+
+// buildWorkloadReport fills the per-stream production breakdown from the
+// generators' own counters, in core then stream order. Replay-mode runs
+// (trace sources, not synthetic generators) contribute nothing.
+func (r *Runner) buildWorkloadReport(rep *obs.Report) {
+	for _, c := range r.cores {
+		for _, src := range c.gens {
+			g, ok := src.(*traffic.Gen)
+			if !ok {
+				continue
+			}
+			w := obs.StreamWorkload{
+				Core: c.spec.Name, Stream: g.Spec.Name,
+				Produced: g.Produced, Reads: g.Reads, Writes: g.Writes,
+				BlockedCycles: g.Blocked,
+			}
+			menu, counts := g.BeatHistogram()
+			for i, b := range menu {
+				w.Beats = append(w.Beats, obs.BeatBin{Beats: b, Count: counts[i]})
+			}
+			rep.Workload = append(rep.Workload, w)
+		}
+	}
 }
 
 // buildMemoryReport fills the memory-subsystem section. The flat fields

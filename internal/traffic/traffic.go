@@ -145,6 +145,14 @@ type Gen struct {
 	// opportunities lost to backpressure.
 	Produced int64
 	Blocked  int64
+	// Reads/Writes split Produced by direction; beatMenu/beatCounts are
+	// the produced burst-size histogram over the menu's distinct sizes
+	// (parallel slices preallocated at construction, so counting stays
+	// off the allocator on the hot path). The calibration layer compares
+	// these against the stream's declared distribution.
+	Reads, Writes int64
+	beatMenu      []int
+	beatCounts    []int64
 }
 
 // NewGen builds the runtime generator for a stream. banks and rowBeats
@@ -169,7 +177,36 @@ func NewGen(spec Stream, banks, rowBeats int, priority bool, rng *sim.RNG) (*Gen
 	}
 	// Desynchronise stream start times.
 	g.nextAt = int64(rng.Intn(64))
+	for _, b := range spec.Beats {
+		if !containsInt(g.beatMenu, b) {
+			g.beatMenu = append(g.beatMenu, b)
+		}
+	}
+	sortInts(g.beatMenu)
+	g.beatCounts = make([]int64, len(g.beatMenu))
 	return g, nil
+}
+
+// BeatHistogram returns the produced burst-size histogram: the menu's
+// distinct sizes in ascending order and the parallel production counts.
+func (g *Gen) BeatHistogram() ([]int, []int64) { return g.beatMenu, g.beatCounts }
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// sortInts insertion-sorts the (tiny) menu in place.
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
 }
 
 // meanBeats returns the average burst size of the stream.
@@ -251,6 +288,15 @@ func (g *Gen) makeRequest() *Request {
 	kind := noc.Write
 	if g.rng.Float64() < g.Spec.ReadFrac {
 		kind = noc.Read
+		g.Reads++
+	} else {
+		g.Writes++
+	}
+	for i, b := range g.beatMenu {
+		if b == beats {
+			g.beatCounts[i]++
+			break
+		}
 	}
 	var addr dram.Address
 	endOfRow := true

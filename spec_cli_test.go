@@ -1,0 +1,115 @@
+package aanoc
+
+// CLI-level proof that -spec is a drop-in for -app: the default table
+// output of aanoc-sim on a committed spec file is byte-identical to the
+// builtin model it mirrors, and the flag-override/mutual-exclusion
+// rules hold at the process boundary (built binary, not `go run`,
+// which collapses child exit codes).
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"aanoc/internal/scenario"
+)
+
+func buildSim(t *testing.T) string {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "aanoc-sim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/aanoc-sim").CombinedOutput(); err != nil {
+		t.Fatalf("building aanoc-sim: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSimSpecByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aanoc-sim binary")
+	}
+	bin := buildSim(t)
+	viaApp, err := exec.Command(bin, "-app", "bluray", "-all", "-cycles", "20000", "-priority").Output()
+	if err != nil {
+		t.Fatalf("-app run: %v", err)
+	}
+	viaSpec, err := exec.Command(bin, "-spec", specPath("bluray"), "-all", "-cycles", "20000", "-priority").Output()
+	if err != nil {
+		t.Fatalf("-spec run: %v", err)
+	}
+	if !bytes.Equal(viaApp, viaSpec) {
+		t.Errorf("-spec output differs from -app output:\n--- app\n%s--- spec\n%s", viaApp, viaSpec)
+	}
+}
+
+func TestSimSpecFlagRules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aanoc-sim binary")
+	}
+	bin := buildSim(t)
+
+	// -spec and -app together must be rejected.
+	out, err := exec.Command(bin, "-spec", specPath("bluray"), "-app", "bluray").CombinedOutput()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("-spec -app: err=%v, want exit 1\n%s", err, out)
+	}
+
+	// A spec whose run block asks for an unsupported channel count is
+	// rejected at load through the shared path: exit 1, sentinel text.
+	dir := t.TempDir()
+	sp, err := LoadSpec(specPath("ddtv4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Run = &SpecRun{Channels: 5}
+	bad := filepath.Join(dir, "bad.json")
+	writeSpecFile(t, sp, bad)
+	if out, err := exec.Command(bin, "-spec", bad).CombinedOutput(); err == nil {
+		t.Fatalf("unsupported channel count accepted:\n%s", out)
+	} else if !bytes.Contains(out, []byte("invalid channel count")) {
+		t.Fatalf("rejection does not carry the shared sentinel text:\n%s", out)
+	}
+
+	// The spec's run block beats the flag default; an explicit flag
+	// beats the spec. Both are visible in the table's gen column.
+	sp, err = LoadSpec(specPath("bluray"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Run = &SpecRun{Generation: 3}
+	gen3 := filepath.Join(dir, "gen3.json")
+	writeSpecFile(t, sp, gen3)
+	out, err = exec.Command(bin, "-spec", gen3, "-cycles", "2000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("spec-default run: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("DDR3")) {
+		t.Errorf("spec's run block (DDR3) lost to the flag default:\n%s", out)
+	}
+	out, err = exec.Command(bin, "-spec", gen3, "-gen", "1", "-cycles", "2000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("flag-override run: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("DDR1")) {
+		t.Errorf("explicit -gen 1 did not override the spec's run block:\n%s", out)
+	}
+}
+
+// writeSpecFile marshals a (possibly invalid) spec straight to disk,
+// bypassing Validate — the CLI under test is the one that must reject.
+func writeSpecFile(t *testing.T, sp *scenario.Spec, path string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

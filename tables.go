@@ -7,6 +7,7 @@ import (
 	"aanoc/internal/appmodel"
 	"aanoc/internal/area"
 	"aanoc/internal/dram"
+	"aanoc/internal/mapping"
 	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/sweep"
@@ -86,6 +87,42 @@ type TableOptions struct {
 	// CheckedViolations). Checked runs measure identically to unchecked
 	// runs — the monitors only observe.
 	Checked bool
+	// Spec, when set, replaces the paper's application matrix: the table
+	// drivers evaluate the spec's platform — its mesh, cores, clocks and
+	// (from its run block) channel configuration — under each driver's
+	// design/generation axes instead of the three builtin applications.
+	Spec *Spec
+}
+
+// apps returns the applications a driver iterates: the paper's three,
+// or the single spec-driven platform.
+func (o TableOptions) apps() ([]appmodel.App, error) {
+	if o.Spec == nil {
+		return appmodel.Apps(), nil
+	}
+	app, err := o.Spec.App()
+	if err != nil {
+		return nil, specErr(err)
+	}
+	return []appmodel.App{app}, nil
+}
+
+// decorate attaches the spec identity (content hash) and its platform
+// channel configuration to one grid point of a spec-driven table.
+func (o TableOptions) decorate(cfg system.Config) system.Config {
+	if o.Spec == nil {
+		return cfg
+	}
+	cfg.SpecHash = o.Spec.Hash()
+	if r := o.Spec.Run; r != nil {
+		cfg.Channels = r.Channels
+		if r.Scheme != "" {
+			if sch, err := mapping.ParseChannelScheme(r.Scheme); err == nil {
+				cfg.Scheme = sch
+			}
+		}
+	}
+	return cfg
 }
 
 func (o TableOptions) cycles() int64 {
@@ -140,15 +177,19 @@ func runGrid(cfgs []system.Config, o TableOptions) ([]Row, error) {
 // runMatrix evaluates the given designs over every application and DDR
 // generation at the paper's clock points.
 func runMatrix(designs []Design, priority bool, o TableOptions) ([]Row, error) {
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
 	var cfgs []system.Config
-	for _, app := range appmodel.Apps() {
+	for _, app := range apps {
 		for _, gen := range []dram.Generation{dram.DDR1, dram.DDR2, dram.DDR3} {
 			for _, d := range designs {
-				cfgs = append(cfgs, system.Config{
+				cfgs = append(cfgs, o.decorate(system.Config{
 					App: app, Gen: gen, Design: d,
 					PriorityDemand: priority,
 					Cycles:         o.cycles(), Seed: o.Seed,
-				})
+				}))
 			}
 		}
 	}
@@ -172,10 +213,14 @@ func TableII(o TableOptions) ([]Row, error) {
 // at the three high clock points, where short turn-around bank
 // interleaving matters.
 func TableIII(o TableOptions) ([]Row, error) {
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
 	var cfgs []system.Config
-	for _, app := range appmodel.Apps() {
+	for _, app := range apps {
 		for _, d := range []Design{GSSSAGM, GSSSAGMSTI} {
-			cfgs = append(cfgs, system.Config{
+			cfgs = append(cfgs, o.decorate(system.Config{
 				App: app, Gen: dram.DDR3, Design: d,
 				PriorityDemand: true,
 				// The paper-literal partially-open-page policy (AP tag on
@@ -183,7 +228,7 @@ func TableIII(o TableOptions) ([]Row, error) {
 				// interleaving hurts and the STI filters help.
 				TagEveryRequest: true,
 				Cycles:          o.cycles(), Seed: o.Seed,
-			})
+			}))
 		}
 	}
 	return runGrid(cfgs, o)
@@ -197,14 +242,18 @@ func TableIII(o TableOptions) ([]Row, error) {
 // DPQ buys an analytic worst-case bound and the regulator buys per-bank
 // isolation, both at a utilization cost the rows quantify.
 func TableSchedulers(o TableOptions) ([]Row, error) {
+	apps, err := o.apps()
+	if err != nil {
+		return nil, err
+	}
 	var cfgs []system.Config
-	for _, app := range appmodel.Apps() {
+	for _, app := range apps {
 		for _, s := range memctrl.Schedulers() {
-			cfgs = append(cfgs, system.Config{
+			cfgs = append(cfgs, o.decorate(system.Config{
 				App: app, Gen: dram.DDR2, Design: GSSSAGM, Scheduler: s,
 				PriorityDemand: true,
 				Cycles:         o.cycles(), Seed: o.Seed,
-			})
+			}))
 		}
 	}
 	return runGrid(cfgs, o)
@@ -228,18 +277,34 @@ func Fig8(appName string, gen, clockMHz int, o TableOptions) ([]Fig8Point, error
 	if err != nil {
 		return nil, err
 	}
+	return fig8(app, gen, clockMHz, o)
+}
+
+// Fig8Spec sweeps the GSS-router count over a spec-driven platform: the
+// Fig. 8 curve for a declarative scenario instead of a named builtin.
+// clockMHz 0 selects the spec's clock for the generation.
+func Fig8Spec(spec *Spec, gen, clockMHz int, o TableOptions) ([]Fig8Point, error) {
+	app, err := spec.App()
+	if err != nil {
+		return nil, specErr(err)
+	}
+	o.Spec = spec
+	return fig8(app, gen, clockMHz, o)
+}
+
+func fig8(app appmodel.App, gen, clockMHz int, o TableOptions) ([]Fig8Point, error) {
 	var cfgs []system.Config
 	for k := 0; k <= app.Width*app.Height; k++ {
 		n := k
 		if k == 0 {
 			n = -1 // zero GSS routers (0 in Config means "all")
 		}
-		cfgs = append(cfgs, system.Config{
+		cfgs = append(cfgs, o.decorate(system.Config{
 			App: app, Gen: dram.Generation(gen), ClockMHz: clockMHz,
 			Design: GSSSAGM, GSSRouters: n,
 			PriorityDemand: true,
 			Cycles:         o.cycles(), Seed: o.Seed,
-		})
+		}))
 	}
 	results, err := sweep.Collect(o.applyChecked(cfgs), o.sweepOptions())
 	if err != nil {
