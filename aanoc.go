@@ -11,7 +11,8 @@
 //
 // The package is a facade over the internal substrates:
 //
-//   - internal/dram — command-accurate DDR I/II/III device model
+//   - internal/dram — command-accurate DDR1-4/LPDDR3 device model
+//     (bank groups, optional subarray-parallel row buffers)
 //   - internal/noc — flit-level wormhole mesh with credit flow control
 //   - internal/core — the GSS flow-control algorithm and SAGM splitter
 //   - internal/router — conventional round-robin / priority-first policies
@@ -200,7 +201,7 @@ func Schedulers() []Scheduler {
 var (
 	// ErrUnknownApp reports an application name AllApps does not list.
 	ErrUnknownApp = errors.New("unknown application")
-	// ErrBadGeneration reports a DDR generation outside 1-3.
+	// ErrBadGeneration reports a DDR generation outside 1-5.
 	ErrBadGeneration = errors.New("invalid DDR generation")
 	// ErrBadChannels reports a channel count the application model's
 	// memory ports (or the interleaving scheme) cannot support.
@@ -292,8 +293,10 @@ type Config struct {
 	// Model is empty and keeps pre-v2 configs and callers compiling
 	// unchanged; it carries the same default and validation.
 	App string
-	// Generation is the DDR generation, 1-3 (0 defaults to 2, the
-	// paper's primary evaluation generation).
+	// Generation is the DDR generation, 1-5 (0 defaults to 2, the
+	// paper's primary evaluation generation): 1-3 are the paper's DDR
+	// I/II/III, 4 is DDR4 (bank groups, long/short tCCD/tRRD pairs), 5
+	// is LPDDR3 (mobile timing, wide tFAW windows).
 	Generation int
 	// ClockMHz is the memory clock; 0 selects the application's paper
 	// clock for the generation (Table I rows).
@@ -338,6 +341,12 @@ type Config struct {
 	// SampleEvery, when positive, collects an observability time-series
 	// sample every SampleEvery cycles into Result.Obs.
 	SampleEvery int64
+	// Subarrays enables MASA-style subarray-level parallelism: this many
+	// independent row buffers per bank (rows map to buffers by row mod
+	// Subarrays), so same-bank accesses to different subarrays avoid the
+	// precharge/activate round trip. 0 or 1 is the classic one-buffer
+	// bank — byte-identical to configs predating the knob.
+	Subarrays int
 	// Checked arms the runtime invariant layer (DRAM protocol monitor,
 	// NoC conservation audits, end-of-run accounting); violations
 	// accumulate into Result.Obs.Violations. Checked runs simulate
@@ -381,7 +390,7 @@ func (c Config) toInternal() (system.Config, error) {
 		Channels: c.Channels, Scheduler: string(c.Scheduler),
 		PriorityDemand: c.PriorityDemand,
 		Cycles:         c.Cycles, Warmup: c.Warmup, Seed: c.Seed,
-		SampleEvery: c.SampleEvery,
+		SampleEvery: c.SampleEvery, Subarrays: c.Subarrays,
 	}
 	if c.ChannelScheme != BankThenChannel {
 		over.Scheme = c.ChannelScheme.String()

@@ -32,7 +32,7 @@ func main() {
 	var (
 		appName  = flag.String("app", "bluray", "application model: bluray, sdtv, ddtv, bluray2 or ddtv4")
 		specPath = flag.String("spec", "", "scenario spec file (JSON); replaces -app, explicit flags override the spec's run block")
-		gen      = flag.Int("gen", 2, "DDR generation: 1, 2 or 3")
+		gen      = flag.Int("gen", 2, "DDR generation: 1-3 (DDR1/2/3), 4 (DDR4) or 5 (LPDDR3)")
 		clock    = flag.Int("clock", 0, "memory clock in MHz (0: the app's clock for the generation)")
 		design   = flag.String("design", "GSS", "design: CONV, CONV+PFS, [4], [4]+PFS, GSS, GSS+SAGM, GSS+SAGM+STI")
 		cycles   = flag.Int64("cycles", 200_000, "simulated memory-clock cycles")
@@ -43,6 +43,7 @@ func main() {
 		channels = flag.Int("channels", 1, "independent SDRAM channels (needs an app with that many memory ports)")
 		scheme   = flag.String("chan-scheme", "bank-chan", "channel interleaving: bank-chan or chan-bank-xor")
 		schedFlg = flag.String("scheduler", "default", "memory scheduler: default, dpq, regulated or staged")
+		subarr   = flag.Int("subarrays", 0, "MASA-style row buffers per bank (0 or 1: classic single-buffer banks)")
 		all      = flag.Bool("all", false, "run every design on the selected app/generation")
 		perCore  = flag.Bool("percore", false, "print the per-core service breakdown and Jain fairness index")
 		jsonOut  = flag.String("json", "", "write the observability report(s) as JSON to this file (\"-\": stdout, suppressing the table)")
@@ -69,6 +70,7 @@ func main() {
 		Generation: *gen, ClockMHz: *clock, Channels: *channels,
 		Scheme: *scheme, Scheduler: *schedFlg, PriorityDemand: *priority,
 		Cycles: *cycles, Seed: *seed, SampleEvery: *sample,
+		Subarrays: *subarr,
 	}
 	// Everything funnels through scenario.Resolve — the same validation
 	// path the facade uses — whether the platform comes from a builtin
@@ -107,6 +109,9 @@ func main() {
 		}
 		if !set["sample-every"] {
 			over.SampleEvery = 0
+		}
+		if !set["subarrays"] {
+			over.Subarrays = 0
 		}
 		base, err = sp.SystemConfig(over)
 		if err != nil {

@@ -22,6 +22,7 @@ import (
 	"runtime"
 
 	"aanoc"
+	"aanoc/internal/dram"
 	"aanoc/internal/obs"
 	"aanoc/internal/prof"
 )
@@ -133,8 +134,8 @@ func reportViolations(table string, rows []aanoc.Row) {
 		if r.Obs == nil || len(r.Obs.Violations) == 0 {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "aanoc-tables: %s %s/DDR%d/%s:\n%s",
-			table, r.App, r.Gen, r.Design, obs.SummarizeViolations(r.Obs.Violations, 10))
+		fmt.Fprintf(os.Stderr, "aanoc-tables: %s %s/%s/%s:\n%s",
+			table, r.App, dram.Generation(r.Gen), r.Design, obs.SummarizeViolations(r.Obs.Violations, 10))
 	}
 }
 

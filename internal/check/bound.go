@@ -73,8 +73,17 @@ func (b *DPQBound) Service(beats int) int64 {
 		beats = 1
 	}
 	k := int64((beats + t.DeviceBL - 1) / t.DeviceBL)
-	dact := t.TRFC + t.CWL + burst + t.TWR + t.TRP + t.TRC + t.TFAW + t.TRRD
-	perBurst := t.TCCD + t.CL + t.CWL + burst + t.TWTR + t.TRTW + 2
+	// With bank groups the long (same-group) spacings dominate the flat
+	// parameter; worst case charges every spacing at its long value.
+	trrd, tccd := t.TRRD, t.TCCD
+	if t.TRRDL > trrd {
+		trrd = t.TRRDL
+	}
+	if t.TCCDL > tccd {
+		tccd = t.TCCDL
+	}
+	dact := t.TRFC + t.CWL + burst + t.TWR + t.TRP + t.TRC + t.TFAW + trrd
+	perBurst := tccd + t.CL + t.CWL + burst + t.TWTR + t.TRTW + 2
 	tail := t.CL + t.CWL + burst + 2
 	return dact + t.TRCD + k*perBurst + tail
 }

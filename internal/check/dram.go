@@ -10,6 +10,7 @@ import (
 type shadowBank struct {
 	state dram.BankState
 
+	openRow      int   // row the buffer holds while active (subarray tracking)
 	actAt        int64 // cycle of the last ACTIVATE
 	readyAt      int64 // precharge/refresh completion (ACT legal after)
 	casAllowedAt int64 // tRCD horizon
@@ -29,29 +30,42 @@ type DRAMMonitor struct {
 	c *Checker
 	t dram.Timing
 
-	now       int64
-	lastCmdAt int64
-	lastCASAt int64
-	lastActAt int64
-	actTimes  [4]int64 // rolling window of the last four ACTs (tFAW)
+	now         int64
+	lastCmdAt   int64
+	lastCASAt   int64
+	lastCASBank int // bank of the last CAS (-1: none); group-aware tCCD
+	lastActAt   int64
+	lastActBank int      // bank of the last ACT (-1: none); group-aware tRRD
+	actTimes    [4]int64 // rolling window of the last four ACTs (tFAW)
 
 	readDataEnd  int64
 	writeDataEnd int64
 	busBusyUntil int64
 
-	banks []shadowBank
+	// subarrays is the normalised row-buffer count per bank (>= 1); the
+	// shadow buffer for (bank, row) lives at banks[bank*subarrays +
+	// row%subarrays], which degenerates to banks[bank] without subarrays.
+	subarrays int
+	banks     []shadowBank
 }
 
 const farPast = -(1 << 30)
 
 // NewDRAMMonitor builds a monitor for one device's command stream.
 func NewDRAMMonitor(c *Checker, t dram.Timing) *DRAMMonitor {
+	subs := t.Subarrays
+	if subs < 1 {
+		subs = 1
+	}
 	m := &DRAMMonitor{
 		c: c, t: t,
-		lastCmdAt: -1,
-		lastCASAt: farPast,
-		lastActAt: farPast,
-		banks:     make([]shadowBank, t.Banks),
+		lastCmdAt:   -1,
+		lastCASAt:   farPast,
+		lastCASBank: -1,
+		lastActAt:   farPast,
+		lastActBank: -1,
+		subarrays:   subs,
+		banks:       make([]shadowBank, t.Banks*subs),
 	}
 	for i := range m.banks {
 		m.banks[i].actAt = farPast
@@ -60,6 +74,37 @@ func NewDRAMMonitor(c *Checker, t dram.Timing) *DRAMMonitor {
 		m.actTimes[i] = farPast
 	}
 	return m
+}
+
+// shadowOf returns the shadow row buffer serving a (bank, row) pair.
+func (m *DRAMMonitor) shadowOf(bank, row int) *shadowBank {
+	return &m.banks[bank*m.subarrays+row%m.subarrays]
+}
+
+// rrdFor derives the ACT-to-ACT spacing the monitor expects before an
+// ACT to the bank: flat tRRD, or the JEDEC long/short pair when the
+// generation has bank groups (same group iff equal bank mod groups) —
+// re-derived from the timing package, never read from the device.
+func (m *DRAMMonitor) rrdFor(bank int) int64 {
+	if m.t.BankGroups > 1 && m.lastActBank >= 0 {
+		if bank%m.t.BankGroups == m.lastActBank%m.t.BankGroups {
+			return m.t.TRRDL
+		}
+		return m.t.TRRDS
+	}
+	return m.t.TRRD
+}
+
+// ccdFor derives the CAS-to-CAS spacing (tCCD, or tCCD_L/tCCD_S with
+// bank groups) the monitor expects before a column command to the bank.
+func (m *DRAMMonitor) ccdFor(bank int) int64 {
+	if m.t.BankGroups > 1 && m.lastCASBank >= 0 {
+		if bank%m.t.BankGroups == m.lastCASBank%m.t.BankGroups {
+			return m.t.TCCDL
+		}
+		return m.t.TCCDS
+	}
+	return m.t.TCCD
 }
 
 // advance retires shadow auto-precharges and settles completed
@@ -117,7 +162,7 @@ func (m *DRAMMonitor) Observe(now int64, cmd dram.Command, w dram.DataWindow) {
 }
 
 func (m *DRAMMonitor) checkActivate(cmd dram.Command, now int64, report func(string, string, ...any)) {
-	b := &m.banks[cmd.Bank]
+	b := m.shadowOf(cmd.Bank, cmd.Row)
 	if b.state != dram.BankIdle {
 		report("ACT-state", "ACT to %s bank %d", b.state, cmd.Bank)
 	}
@@ -127,17 +172,19 @@ func (m *DRAMMonitor) checkActivate(cmd dram.Command, now int64, report func(str
 	if now < b.actAt+m.t.TRC {
 		report("tRC", "ACT to bank %d only %d cycles after its last ACT (tRC=%d)", cmd.Bank, now-b.actAt, m.t.TRC)
 	}
-	if now < m.lastActAt+m.t.TRRD {
-		report("tRRD", "ACT %d cycles after the previous ACT (tRRD=%d)", now-m.lastActAt, m.t.TRRD)
+	if trrd := m.rrdFor(cmd.Bank); now < m.lastActAt+trrd {
+		report("tRRD", "ACT %d cycles after the previous ACT (tRRD=%d)", now-m.lastActAt, trrd)
 	}
 	if m.t.TFAW > 0 && now < m.actTimes[0]+m.t.TFAW {
 		report("tFAW", "fifth ACT %d cycles into a four-activate window of %d", now-m.actTimes[0], m.t.TFAW)
 	}
 	b.state = dram.BankActive
+	b.openRow = cmd.Row
 	b.actAt = now
 	b.casAllowedAt = now + m.t.TRCD
 	b.preAllowedAt = now + m.t.TRAS
 	m.lastActAt = now
+	m.lastActBank = cmd.Bank
 	copy(m.actTimes[:], m.actTimes[1:])
 	m.actTimes[3] = now
 }
@@ -150,9 +197,12 @@ func (m *DRAMMonitor) checkColumn(cmd dram.Command, now int64, w dram.DataWindow
 	} else if cmd.BL != m.t.DeviceBL {
 		report("BL", "%s with BL%d on a BL%d-mode device", cmd.Kind, cmd.BL, m.t.DeviceBL)
 	}
-	b := &m.banks[cmd.Bank]
+	b := m.shadowOf(cmd.Bank, cmd.Row)
 	if b.state != dram.BankActive {
 		report("CAS-state", "%s to %s bank %d", cmd.Kind, b.state, cmd.Bank)
+	} else if m.subarrays > 1 && b.openRow != cmd.Row {
+		report("subarray-row", "%s to bank %d row %d but its subarray holds row %d",
+			cmd.Kind, cmd.Bank, cmd.Row, b.openRow)
 	}
 	if b.apPending {
 		report("AP-pending", "%s to bank %d with a pending auto-precharge", cmd.Kind, cmd.Bank)
@@ -160,8 +210,8 @@ func (m *DRAMMonitor) checkColumn(cmd dram.Command, now int64, w dram.DataWindow
 	if now < b.casAllowedAt {
 		report("tRCD", "%s to bank %d at %d, tRCD horizon %d", cmd.Kind, cmd.Bank, now, b.casAllowedAt)
 	}
-	if now < m.lastCASAt+m.t.TCCD {
-		report("tCCD", "%s %d cycles after the previous CAS (tCCD=%d)", cmd.Kind, now-m.lastCASAt, m.t.TCCD)
+	if tccd := m.ccdFor(cmd.Bank); now < m.lastCASAt+tccd {
+		report("tCCD", "%s %d cycles after the previous CAS (tCCD=%d)", cmd.Kind, now-m.lastCASAt, tccd)
 	}
 	burst := dram.BurstCycles(cmd.BL)
 	var start int64
@@ -190,6 +240,7 @@ func (m *DRAMMonitor) checkColumn(cmd dram.Command, now int64, w dram.DataWindow
 	}
 	// Fold into shadow state, mirroring the device's published semantics.
 	m.lastCASAt = now
+	m.lastCASBank = cmd.Bank
 	m.busBusyUntil = end
 	if cmd.Kind == dram.CmdRead {
 		m.readDataEnd = end
@@ -209,7 +260,7 @@ func (m *DRAMMonitor) checkColumn(cmd dram.Command, now int64, w dram.DataWindow
 }
 
 func (m *DRAMMonitor) checkPrecharge(cmd dram.Command, now int64, report func(string, string, ...any)) {
-	b := &m.banks[cmd.Bank]
+	b := m.shadowOf(cmd.Bank, cmd.Row)
 	if b.state != dram.BankActive {
 		report("PRE-state", "PRE to %s bank %d", b.state, cmd.Bank)
 	}
@@ -227,10 +278,10 @@ func (m *DRAMMonitor) checkRefresh(_ dram.Command, now int64, report func(string
 	for i := range m.banks {
 		b := &m.banks[i]
 		if b.state != dram.BankIdle || now < b.readyAt {
-			report("REF-not-idle", "REF with bank %d %s (ready at %d)", i, b.state, b.readyAt)
+			report("REF-not-idle", "REF with bank %d %s (ready at %d)", i/m.subarrays, b.state, b.readyAt)
 		}
 		if b.apPending {
-			report("REF-not-idle", "REF with pending auto-precharge on bank %d", i)
+			report("REF-not-idle", "REF with pending auto-precharge on bank %d", i/m.subarrays)
 		}
 	}
 	for i := range m.banks {

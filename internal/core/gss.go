@@ -42,6 +42,12 @@ type Config struct {
 	PCT int
 	// Banks is the number of SDRAM banks (sizes the STI counters).
 	Banks int
+	// Subarrays is the row-buffer count per bank on a subarray-parallel
+	// device (0 or 1: one buffer, the classic bank). When set, the flow
+	// controller stops counting same-bank accesses to rows in different
+	// subarrays as bank conflicts — their row buffers are independent, so
+	// back-to-back scheduling costs no precharge/activate cycle.
+	Subarrays int
 	// STI enables the Fig. 4(b) filter tree with bank idle counters.
 	STI STIParams
 }
@@ -63,6 +69,9 @@ func (c Config) Validate() error {
 	}
 	if c.Banks < 1 {
 		return fmt.Errorf("core: need at least one bank, got %d", c.Banks)
+	}
+	if c.Subarrays < 0 {
+		return fmt.Errorf("core: negative subarray count %d", c.Subarrays)
 	}
 	return nil
 }
@@ -194,6 +203,12 @@ func (g *GSS) condsFor(p *noc.Packet, now int64) conds {
 		return c
 	}
 	c.bankConflict = noc.BankConflict(&g.last, p)
+	if c.bankConflict && g.cfg.Subarrays > 1 &&
+		g.last.Addr.Row%g.cfg.Subarrays != p.Addr.Row%g.cfg.Subarrays {
+		// Different subarrays of the same bank hold their rows
+		// simultaneously — no row buffer is evicted, so no conflict.
+		c.bankConflict = false
+	}
 	c.dataContention = noc.DataContention(&g.last, p)
 	c.sibling = g.last.ParentID == p.ParentID && noc.RowHit(&g.last, p) && !c.dataContention
 	return c

@@ -1,0 +1,17 @@
+package dram
+
+import "fmt"
+
+// Address is a decoded SDRAM location. Requests in the NoC carry decoded
+// addresses (the paper's packets carry BA/RA/CA on sideband wires). The
+// Bank field is a global bank index when the packet is still in the
+// mesh; the structure-aware layers (internal/mapping ChannelMap and
+// StructMap) decompose it into channel/group/bank/subarray levels.
+type Address struct {
+	Bank int
+	Row  int
+	Col  int
+}
+
+// String renders the address in the paper's (RA, BA, CA) notation.
+func (a Address) String() string { return fmt.Sprintf("b%d r%d c%d", a.Bank, a.Row, a.Col) }

@@ -42,11 +42,18 @@ type Device struct {
 	t     Timing
 	banks []bank
 
+	// subs holds the per-subarray row buffers when t.Subarrays > 1
+	// (MASA-lite): bank b, subarray s live at subs[b*t.Subarrays+s] and
+	// the banks slice is unused. Empty in the classic one-buffer mode.
+	subs []bank
+
 	now          int64
 	lastCmdCycle int64
 	lastWindow   DataWindow
 	lastCAS      int64
+	lastCASBank  int // bank of the last CAS (-1: none); group-aware tCCD
 	lastActAny   int64
+	lastActBank  int      // bank of the last ACT (-1: none); group-aware tRRD
 	actTimes     [4]int64 // rolling window of the last four ACTs (tFAW)
 	readDataEnd  int64    // end cycle of the most recent read burst
 	writeDataEnd int64    // end cycle of the most recent write burst
@@ -107,15 +114,57 @@ func NewDevice(t Timing) (*Device, error) {
 		perBank:      make([]BankCounters, t.Banks),
 		lastCmdCycle: -1,
 		lastCAS:      -(1 << 30),
+		lastCASBank:  -1,
 		lastActAny:   -(1 << 30),
+		lastActBank:  -1,
 	}
 	for i := range d.banks {
 		d.banks[i].actTime = -(1 << 30)
+	}
+	if t.Subarrays > 1 {
+		d.subs = make([]bank, t.Banks*t.Subarrays)
+		for i := range d.subs {
+			d.subs[i].actTime = -(1 << 30)
+		}
 	}
 	for i := range d.actTimes {
 		d.actTimes[i] = -(1 << 30)
 	}
 	return d, nil
+}
+
+// salp reports whether the device runs with per-subarray row buffers.
+func (d *Device) salp() bool { return len(d.subs) > 0 }
+
+// subOf returns the subarray row buffer a row of a bank maps to; only
+// valid in salp mode.
+func (d *Device) subOf(bankIdx, row int) *bank {
+	return &d.subs[bankIdx*d.t.Subarrays+row%d.t.Subarrays]
+}
+
+// ccdFor returns the CAS-to-CAS spacing a column command to the bank
+// must keep from the previous CAS: the flat tCCD, or the long/short
+// group pair when the generation has bank groups.
+func (d *Device) ccdFor(bankIdx int) int64 {
+	if d.t.BankGroups > 1 && d.lastCASBank >= 0 {
+		if d.t.GroupOf(bankIdx) == d.t.GroupOf(d.lastCASBank) {
+			return d.t.TCCDL
+		}
+		return d.t.TCCDS
+	}
+	return d.t.TCCD
+}
+
+// rrdFor returns the ACT-to-ACT spacing an activate to the bank must
+// keep from the previous ACT (flat tRRD, or tRRD_L/tRRD_S with groups).
+func (d *Device) rrdFor(bankIdx int) int64 {
+	if d.t.BankGroups > 1 && d.lastActBank >= 0 {
+		if d.t.GroupOf(bankIdx) == d.t.GroupOf(d.lastActBank) {
+			return d.t.TRRDL
+		}
+		return d.t.TRRDS
+	}
+	return d.t.TRRD
 }
 
 // MustNewDevice is NewDevice but panics on invalid timing; for tests and
@@ -171,6 +220,20 @@ func (d *Device) advance(now int64) {
 		panic(fmt.Sprintf("dram: time went backwards (%d < %d)", now, d.now))
 	}
 	d.now = now
+	if d.salp() {
+		for i := range d.subs {
+			b := &d.subs[i]
+			if b.apPending && now >= b.apStartAt {
+				b.apPending = false
+				b.state = BankPrecharging
+				b.readyAt = b.apStartAt + d.t.TRP
+				d.stats.AutoPre++
+				d.perBank[i/d.t.Subarrays].AutoPre++
+			}
+			b.settle(now)
+		}
+		return
+	}
 	for i := range d.banks {
 		b := &d.banks[i]
 		if b.apPending && now >= b.apStartAt {
@@ -191,9 +254,20 @@ func (d *Device) Sync(now int64) { d.advance(now) }
 
 // OpenRow reports the open row of a bank, if any, at cycle now. A bank
 // with a pending auto-precharge whose start time has passed reports
-// closed.
+// closed. In salp mode several subarrays of a bank can hold open rows;
+// the lowest-indexed open subarray's row is reported (the refresh drain
+// closes them one per cycle through this view).
 func (d *Device) OpenRow(bankIdx int, now int64) (row int, open bool) {
 	d.advance(now)
+	if d.salp() {
+		base := bankIdx * d.t.Subarrays
+		for s := 0; s < d.t.Subarrays; s++ {
+			if b := &d.subs[base+s]; b.state == BankActive {
+				return b.openRow, true
+			}
+		}
+		return 0, false
+	}
 	b := &d.banks[bankIdx]
 	if b.state == BankActive {
 		return b.openRow, true
@@ -201,19 +275,60 @@ func (d *Device) OpenRow(bankIdx int, now int64) (row int, open bool) {
 	return 0, false
 }
 
+// RowOpen reports whether the specific row of a bank is open in its row
+// buffer at cycle now. With one buffer per bank this is OpenRow equality;
+// in salp mode it consults the subarray the row maps to, so rows open in
+// sibling subarrays of the same bank are visible simultaneously.
+func (d *Device) RowOpen(bankIdx, row int, now int64) bool {
+	d.advance(now)
+	b := &d.banks[bankIdx]
+	if d.salp() {
+		b = d.subOf(bankIdx, row)
+	}
+	return b.state == BankActive && b.openRow == row
+}
+
+// BlockingRow reports the row currently occupying the row buffer that
+// the given row needs, when it is a different row — the precharge target
+// of a row conflict. In salp mode only the owning subarray can block;
+// rows open in sibling subarrays do not conflict.
+func (d *Device) BlockingRow(bankIdx, row int, now int64) (openRow int, blocked bool) {
+	d.advance(now)
+	b := &d.banks[bankIdx]
+	if d.salp() {
+		b = d.subOf(bankIdx, row)
+	}
+	if b.state == BankActive && b.openRow != row {
+		return b.openRow, true
+	}
+	return 0, false
+}
+
 // BankState reports the externally visible state of a bank at cycle now.
+// In salp mode the bank reads active while any subarray holds an open
+// row, precharging while any subarray is precharging, idle otherwise.
 func (d *Device) BankState(bankIdx int, now int64) BankState {
 	d.advance(now)
+	if d.salp() {
+		st := BankIdle
+		base := bankIdx * d.t.Subarrays
+		for s := 0; s < d.t.Subarrays; s++ {
+			switch d.subs[base+s].state {
+			case BankActive:
+				return BankActive
+			case BankPrecharging:
+				st = BankPrecharging
+			}
+		}
+		return st
+	}
 	return d.banks[bankIdx].state
 }
 
-// BankReadyAt returns the earliest cycle an ACTIVATE could be accepted by
-// the bank, considering only same-bank constraints (precharge completion
-// and tRC). Used by look-ahead controllers and by the short turn-around
-// interleaving (STI) estimate.
-func (d *Device) BankReadyAt(bankIdx int, now int64) int64 {
-	d.advance(now)
-	b := &d.banks[bankIdx]
+// bufferReadyAt computes the earliest ACTIVATE a single row buffer
+// (bank, or subarray in salp mode) could accept, considering only its
+// own constraints (precharge completion and tRC).
+func (d *Device) bufferReadyAt(b *bank, now int64) int64 {
 	ready := b.actTime + d.t.TRC
 	switch b.state {
 	case BankActive:
@@ -243,10 +358,50 @@ func (d *Device) BankReadyAt(bankIdx int, now int64) int64 {
 	return ready
 }
 
+// BankReadyAt returns the earliest cycle an ACTIVATE could be accepted by
+// the bank, considering only same-bank constraints (precharge completion
+// and tRC). Used by look-ahead controllers and by the short turn-around
+// interleaving (STI) estimate. In salp mode it reports the readiest
+// subarray (an ACT can target whichever subarray is free soonest).
+func (d *Device) BankReadyAt(bankIdx int, now int64) int64 {
+	d.advance(now)
+	if d.salp() {
+		base := bankIdx * d.t.Subarrays
+		ready := d.bufferReadyAt(&d.subs[base], now)
+		for s := 1; s < d.t.Subarrays; s++ {
+			if r := d.bufferReadyAt(&d.subs[base+s], now); r < ready {
+				ready = r
+			}
+		}
+		return ready
+	}
+	return d.bufferReadyAt(&d.banks[bankIdx], now)
+}
+
 // AutoPrechargePending reports whether the bank has an auto-precharge
-// scheduled but not yet fired at cycle now.
+// scheduled but not yet fired at cycle now. In salp mode it reports
+// whether any subarray of the bank does.
 func (d *Device) AutoPrechargePending(bankIdx int, now int64) bool {
 	d.advance(now)
+	if d.salp() {
+		base := bankIdx * d.t.Subarrays
+		for s := 0; s < d.t.Subarrays; s++ {
+			if d.subs[base+s].apPending {
+				return true
+			}
+		}
+		return false
+	}
+	return d.banks[bankIdx].apPending
+}
+
+// RowAutoPrechargePending reports whether the row buffer serving the
+// given row has an auto-precharge scheduled but not yet fired.
+func (d *Device) RowAutoPrechargePending(bankIdx, row int, now int64) bool {
+	d.advance(now)
+	if d.salp() {
+		return d.subOf(bankIdx, row).apPending
+	}
 	return d.banks[bankIdx].apPending
 }
 
@@ -259,7 +414,27 @@ func (d *Device) AutoPrechargePending(bankIdx int, now int64) bool {
 // through a cycle where it would have been accepted.
 func (d *Device) ActivateReadyAt(bankIdx int, now int64) int64 {
 	ready := d.BankReadyAt(bankIdx, now)
-	if r := d.lastActAny + d.t.TRRD; r > ready {
+	if r := d.lastActAny + d.rrdFor(bankIdx); r > ready {
+		ready = r
+	}
+	if d.t.TFAW > 0 && d.fault != FaultSkipTFAW {
+		if r := d.actTimes[0] + d.t.TFAW; r > ready {
+			ready = r
+		}
+	}
+	return ready
+}
+
+// RowActivateReadyAt is ActivateReadyAt for a specific row: in salp mode
+// the same-bank constraints come from the subarray the row maps to, not
+// from the readiest subarray of the bank.
+func (d *Device) RowActivateReadyAt(bankIdx, row int, now int64) int64 {
+	if !d.salp() {
+		return d.ActivateReadyAt(bankIdx, now)
+	}
+	d.advance(now)
+	ready := d.bufferReadyAt(d.subOf(bankIdx, row), now)
+	if r := d.lastActAny + d.rrdFor(bankIdx); r > ready {
 		ready = r
 	}
 	if d.t.TFAW > 0 && d.fault != FaultSkipTFAW {
@@ -275,13 +450,23 @@ func (d *Device) ActivateReadyAt(bankIdx int, now int64) int64 {
 // will be) active with the wanted row open. Same contract as
 // ActivateReadyAt: never later than the true earliest legal cycle.
 func (d *Device) ColumnReadyAt(bankIdx int, kind CmdKind, now int64) int64 {
+	return d.RowColumnReadyAt(bankIdx, -1, kind, now)
+}
+
+// RowColumnReadyAt is ColumnReadyAt for a specific row; in salp mode the
+// tRCD floor comes from the subarray the row maps to. A negative row
+// selects the bank-level buffer (only meaningful outside salp mode).
+func (d *Device) RowColumnReadyAt(bankIdx, row int, kind CmdKind, now int64) int64 {
 	d.advance(now)
 	b := &d.banks[bankIdx]
+	if d.salp() && row >= 0 {
+		b = d.subOf(bankIdx, row)
+	}
 	ready := now
 	if d.fault != FaultSkipTRCD && b.casAllowedAt > ready {
 		ready = b.casAllowedAt
 	}
-	if r := d.lastCAS + d.t.TCCD; r > ready {
+	if r := d.lastCAS + d.ccdFor(bankIdx); r > ready {
 		ready = r
 	}
 	if kind == CmdRead {
@@ -306,8 +491,17 @@ func (d *Device) ColumnReadyAt(bankIdx int, kind CmdKind, now int64) int64 {
 // cycle an explicit PRECHARGE to the bank could be legal (tRAS/tWR/tRTP
 // floors). Same contract as ActivateReadyAt.
 func (d *Device) PrechargeReadyAt(bankIdx int, now int64) int64 {
+	return d.RowPrechargeReadyAt(bankIdx, -1, now)
+}
+
+// RowPrechargeReadyAt is PrechargeReadyAt for a specific row's buffer; a
+// negative row selects the bank-level buffer (outside salp mode).
+func (d *Device) RowPrechargeReadyAt(bankIdx, row int, now int64) int64 {
 	d.advance(now)
 	b := &d.banks[bankIdx]
+	if d.salp() && row >= 0 {
+		b = d.subOf(bankIdx, row)
+	}
 	if b.preAllowedAt > now {
 		return b.preAllowedAt
 	}
@@ -359,6 +553,11 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 	switch cmd.Kind {
 	case CmdActivate:
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			// MASA-lite: the ACT needs only its own subarray idle; sibling
+			// subarrays of the bank may stay open (activation overlap).
+			b = d.subOf(cmd.Bank, cmd.Row)
+		}
 		switch {
 		case b.state != BankIdle:
 			if !explain {
@@ -375,7 +574,7 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 				return errRefused
 			}
 			return refuse("ACT violates tRC on bank %d", cmd.Bank)
-		case now < d.lastActAny+d.t.TRRD:
+		case now < d.lastActAny+d.rrdFor(cmd.Bank):
 			if !explain {
 				return errRefused
 			}
@@ -391,6 +590,15 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 			return err
 		}
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			b = d.subOf(cmd.Bank, cmd.Row)
+			if b.state == BankActive && b.openRow != cmd.Row {
+				if !explain {
+					return errRefused
+				}
+				return refuse("%s to bank %d row %d but subarray holds row %d", cmd.Kind, cmd.Bank, cmd.Row, b.openRow)
+			}
+		}
 		switch {
 		case b.state != BankActive:
 			if !explain {
@@ -407,7 +615,7 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 				return errRefused
 			}
 			return refuse("%s violates tRCD on bank %d", cmd.Kind, cmd.Bank)
-		case now < d.lastCAS+d.t.TCCD:
+		case now < d.lastCAS+d.ccdFor(cmd.Bank):
 			if !explain {
 				return errRefused
 			}
@@ -448,6 +656,10 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 		}
 	case CmdPrecharge:
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			// The Row field selects the subarray to close.
+			b = d.subOf(cmd.Bank, cmd.Row)
+		}
 		switch {
 		case b.state != BankActive:
 			if !explain {
@@ -466,19 +678,27 @@ func (d *Device) checkIssue(cmd Command, now int64, explain bool) error {
 			return refuse("PRE violates tRAS/tWR/tRTP on bank %d (allowed at %d)", cmd.Bank, b.preAllowedAt)
 		}
 	case CmdRefresh:
-		for i := range d.banks {
-			b := &d.banks[i]
+		buffers := d.banks
+		if d.salp() {
+			buffers = d.subs
+		}
+		for i := range buffers {
+			b := &buffers[i]
+			idx := i
+			if d.salp() {
+				idx = i / d.t.Subarrays
+			}
 			if b.state != BankIdle || now < b.readyAt {
 				if !explain {
 					return errRefused
 				}
-				return refuse("REF with bank %d not idle", i)
+				return refuse("REF with bank %d not idle", idx)
 			}
 			if b.apPending {
 				if !explain {
 					return errRefused
 				}
-				return refuse("REF with pending auto-precharge on bank %d", i)
+				return refuse("REF with pending auto-precharge on bank %d", idx)
 			}
 		}
 	default:
@@ -515,12 +735,16 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 	switch cmd.Kind {
 	case CmdActivate:
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			b = d.subOf(cmd.Bank, cmd.Row)
+		}
 		b.state = BankActive
 		b.openRow = cmd.Row
 		b.actTime = now
 		b.casAllowedAt = now + d.t.TRCD
 		b.preAllowedAt = now + d.t.TRAS
 		d.lastActAny = now
+		d.lastActBank = cmd.Bank
 		copy(d.actTimes[:], d.actTimes[1:])
 		d.actTimes[3] = now
 		b.casSinceAct = false
@@ -528,8 +752,12 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		d.perBank[cmd.Bank].Activates++
 	case CmdRead:
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			b = d.subOf(cmd.Bank, cmd.Row)
+		}
 		w := DataWindow{Start: now + d.t.CL, End: now + d.t.CL + BurstCycles(cmd.BL)}
 		d.lastCAS = now
+		d.lastCASBank = cmd.Bank
 		d.busBusyUntil = w.End
 		d.readDataEnd = w.End
 		d.stats.Reads++
@@ -552,8 +780,12 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		return w, nil
 	case CmdWrite:
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			b = d.subOf(cmd.Bank, cmd.Row)
+		}
 		w := DataWindow{Start: now + d.t.CWL, End: now + d.t.CWL + BurstCycles(cmd.BL)}
 		d.lastCAS = now
+		d.lastCASBank = cmd.Bank
 		d.busBusyUntil = w.End
 		d.writeDataEnd = w.End
 		d.stats.Writes++
@@ -576,6 +808,9 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 		return w, nil
 	case CmdPrecharge:
 		b := &d.banks[cmd.Bank]
+		if d.salp() {
+			b = d.subOf(cmd.Bank, cmd.Row)
+		}
 		b.state = BankPrecharging
 		b.readyAt = now + d.t.TRP
 		d.stats.Precharges++
@@ -583,6 +818,9 @@ func (d *Device) Issue(cmd Command, now int64) (DataWindow, error) {
 	case CmdRefresh:
 		for i := range d.banks {
 			d.banks[i].readyAt = now + d.t.TRFC
+		}
+		for i := range d.subs {
+			d.subs[i].readyAt = now + d.t.TRFC
 		}
 		d.stats.Refreshes++
 	}

@@ -22,7 +22,19 @@ const (
 	DDR1 Generation = 1 + iota
 	DDR2
 	DDR3
+	// DDR4 introduces bank groups: column and activate spacing depend on
+	// whether consecutive commands land in the same group (tCCD_L/tRRD_L)
+	// or different groups (tCCD_S/tRRD_S).
+	DDR4
+	// LPDDR3 is the low-power mobile part: DDR3-class protocol with
+	// slower analog timings (long tRRD/tFAW) at high data rates.
+	LPDDR3
 )
+
+// Generations lists every supported generation in protocol order.
+func Generations() []Generation {
+	return []Generation{DDR1, DDR2, DDR3, DDR4, LPDDR3}
+}
 
 // String returns the conventional name of the generation.
 func (g Generation) String() string {
@@ -33,6 +45,10 @@ func (g Generation) String() string {
 		return "DDR2"
 	case DDR3:
 		return "DDR3"
+	case DDR4:
+		return "DDR4"
+	case LPDDR3:
+		return "LPDDR3"
 	default:
 		return fmt.Sprintf("Generation(%d)", int(g))
 	}
@@ -65,21 +81,64 @@ type Timing struct {
 	TREFI int64 // average refresh interval
 	TFAW  int64 // four-activate window: at most 4 ACTs per rolling window (0 disables)
 
+	// BankGroups partitions the banks into groups (DDR4). When > 1,
+	// column and activate spacing use the long/short pairs below instead
+	// of the flat TCCD/TRRD; group membership is bank index modulo
+	// BankGroups, so a controller walking sequential banks alternates
+	// groups and earns the short spacing. 0 or 1 means no group structure.
+	BankGroups int
+	TCCDL      int64 // CAS to CAS, same bank group (>= TCCD)
+	TCCDS      int64 // CAS to CAS, different bank groups
+	TRRDL      int64 // ACT to ACT, same bank group (>= TRRD)
+	TRRDS      int64 // ACT to ACT, different bank groups
+
+	// Subarrays enables SALP-style per-subarray row buffers (MASA-lite):
+	// each bank is split into Subarrays independent row buffers, a row
+	// maps to subarray row%Subarrays, and activations to distinct
+	// subarrays of one bank may overlap. 0 or 1 keeps the classic
+	// one-row-buffer-per-bank device.
+	Subarrays int
+
 	// DeviceBL is the burst length the device mode register is set to
 	// (2, 4 or 8). OTF reports whether the device supports on-the-fly
-	// burst chop (DDR3 BL8 with selectable BC4 per command).
+	// burst chop (DDR3/DDR4 BL8 with selectable BC4 per command).
 	DeviceBL int
 	OTF      bool
+}
+
+// WithSubarrays returns a copy of t with SALP-style subarray row buffers
+// enabled (n <= 1 disables them).
+func (t Timing) WithSubarrays(n int) Timing {
+	t.Subarrays = n
+	return t
+}
+
+// GroupOf returns the bank-group index of a bank (0 when the generation
+// has no group structure).
+func (t *Timing) GroupOf(bank int) int {
+	if t.BankGroups <= 1 {
+		return 0
+	}
+	return bank % t.BankGroups
+}
+
+// SubarrayOf returns the subarray index a row maps to (0 when subarrays
+// are disabled).
+func (t *Timing) SubarrayOf(row int) int {
+	if t.Subarrays <= 1 {
+		return 0
+	}
+	return row % t.Subarrays
 }
 
 // Validate reports whether the timing set is internally consistent.
 func (t *Timing) Validate() error {
 	switch {
-	case t.Generation < DDR1 || t.Generation > DDR3:
+	case t.Generation < DDR1 || t.Generation > LPDDR3:
 		return fmt.Errorf("dram: invalid generation %d", t.Generation)
 	case t.ClockMHz <= 0:
 		return fmt.Errorf("dram: invalid clock %d MHz", t.ClockMHz)
-	case t.Banks != 4 && t.Banks != 8:
+	case t.Banks != 4 && t.Banks != 8 && t.Banks != 16:
 		return fmt.Errorf("dram: invalid bank count %d", t.Banks)
 	case t.CL < 1 || t.CWL < 1:
 		return fmt.Errorf("dram: CL/CWL must be >= 1 (CL=%d CWL=%d)", t.CL, t.CWL)
@@ -93,8 +152,22 @@ func (t *Timing) Validate() error {
 		return fmt.Errorf("dram: tCCD must be >= 1")
 	case t.DeviceBL != 2 && t.DeviceBL != 4 && t.DeviceBL != 8:
 		return fmt.Errorf("dram: invalid device BL %d", t.DeviceBL)
-	case t.OTF && t.Generation != DDR3:
-		return fmt.Errorf("dram: OTF burst chop is a DDR3 feature")
+	case t.OTF && t.Generation != DDR3 && t.Generation != DDR4:
+		return fmt.Errorf("dram: OTF burst chop is a DDR3/DDR4 feature")
+	case t.Subarrays < 0:
+		return fmt.Errorf("dram: invalid subarray count %d", t.Subarrays)
+	}
+	if t.BankGroups > 1 {
+		switch {
+		case t.Banks%t.BankGroups != 0:
+			return fmt.Errorf("dram: %d banks not divisible into %d groups", t.Banks, t.BankGroups)
+		case t.TCCDL < 1 || t.TCCDS < 1 || t.TRRDL < 1 || t.TRRDS < 1:
+			return fmt.Errorf("dram: bank groups need tCCD_L/S and tRRD_L/S >= 1")
+		case t.TCCDL < t.TCCDS:
+			return fmt.Errorf("dram: tCCD_L (%d) < tCCD_S (%d)", t.TCCDL, t.TCCDS)
+		case t.TRRDL < t.TRRDS:
+			return fmt.Errorf("dram: tRRD_L (%d) < tRRD_S (%d)", t.TRRDL, t.TRRDS)
+		}
 	}
 	return nil
 }
@@ -133,11 +206,37 @@ var grades = map[speedKey]Timing{
 	{DDR3, 533}: {Generation: DDR3, ClockMHz: 533, Banks: 8, CL: 7, CWL: 6, TRCD: 7, TRP: 7, TRAS: 20, TRC: 27, TRRD: 4, TWR: 8, TWTR: 4, TRTP: 4, TCCD: 4, TRTW: 2, TRFC: 59, TREFI: 4157, TFAW: 16, DeviceBL: 8, OTF: true},
 	{DDR3, 667}: {Generation: DDR3, ClockMHz: 667, Banks: 8, CL: 9, CWL: 7, TRCD: 9, TRP: 9, TRAS: 24, TRC: 33, TRRD: 5, TWR: 10, TWTR: 5, TRTP: 5, TCCD: 4, TRTW: 2, TRFC: 74, TREFI: 5202, TFAW: 20, DeviceBL: 8, OTF: true},
 	{DDR3, 800}: {Generation: DDR3, ClockMHz: 800, Banks: 8, CL: 11, CWL: 8, TRCD: 11, TRP: 11, TRAS: 28, TRC: 39, TRRD: 6, TWR: 12, TWTR: 6, TRTP: 6, TCCD: 4, TRTW: 2, TRFC: 88, TREFI: 6240, TFAW: 24, DeviceBL: 8, OTF: true},
+
+	// DDR4 (data rates 2133/2400/2666): 16 banks in 4 groups. The flat
+	// TCCD/TRRD fields mirror the short (cross-group) spacings so code
+	// that ignores group structure stays a valid lower bound; the device
+	// applies TCCDL/TRRDL when consecutive commands share a group.
+	{DDR4, 1066}: {Generation: DDR4, ClockMHz: 1066, Banks: 16, BankGroups: 4, CL: 15, CWL: 11, TRCD: 15, TRP: 15, TRAS: 36, TRC: 51, TRRD: 4, TRRDS: 4, TRRDL: 6, TWR: 16, TWTR: 8, TRTP: 8, TCCD: 4, TCCDS: 4, TCCDL: 6, TRTW: 2, TRFC: 374, TREFI: 8314, TFAW: 28, DeviceBL: 8, OTF: true},
+	{DDR4, 1200}: {Generation: DDR4, ClockMHz: 1200, Banks: 16, BankGroups: 4, CL: 16, CWL: 12, TRCD: 16, TRP: 16, TRAS: 39, TRC: 55, TRRD: 4, TRRDS: 4, TRRDL: 6, TWR: 18, TWTR: 9, TRTP: 9, TCCD: 4, TCCDS: 4, TCCDL: 6, TRTW: 2, TRFC: 420, TREFI: 9360, TFAW: 32, DeviceBL: 8, OTF: true},
+	{DDR4, 1333}: {Generation: DDR4, ClockMHz: 1333, Banks: 16, BankGroups: 4, CL: 18, CWL: 14, TRCD: 18, TRP: 18, TRAS: 43, TRC: 61, TRRD: 5, TRRDS: 5, TRRDL: 7, TWR: 20, TWTR: 10, TRTP: 10, TCCD: 4, TCCDS: 4, TCCDL: 7, TRTW: 2, TRFC: 467, TREFI: 10397, TFAW: 36, DeviceBL: 8, OTF: true},
+
+	// LPDDR3 (data rates 1600/1866/2133): DDR3-class protocol, no bank
+	// groups, slow analog core (long tRRD/tFAW relative to the clock).
+	{LPDDR3, 800}:  {Generation: LPDDR3, ClockMHz: 800, Banks: 8, CL: 12, CWL: 6, TRCD: 15, TRP: 15, TRAS: 34, TRC: 49, TRRD: 8, TWR: 12, TWTR: 6, TRTP: 6, TCCD: 4, TRTW: 2, TRFC: 168, TREFI: 3120, TFAW: 40, DeviceBL: 8},
+	{LPDDR3, 933}:  {Generation: LPDDR3, ClockMHz: 933, Banks: 8, CL: 14, CWL: 8, TRCD: 17, TRP: 17, TRAS: 40, TRC: 57, TRRD: 10, TWR: 14, TWTR: 7, TRTP: 7, TCCD: 4, TRTW: 2, TRFC: 196, TREFI: 3639, TFAW: 47, DeviceBL: 8},
+	{LPDDR3, 1066}: {Generation: LPDDR3, ClockMHz: 1066, Banks: 8, CL: 16, CWL: 9, TRCD: 19, TRP: 19, TRAS: 46, TRC: 65, TRRD: 11, TWR: 16, TWTR: 8, TRTP: 8, TCCD: 4, TRTW: 2, TRFC: 224, TREFI: 4157, TFAW: 54, DeviceBL: 8},
+}
+
+// DefaultClock returns the fastest predefined clock point of a
+// generation — the fallback for application models that predate the
+// generation and carry no Table I clock entry for it.
+func DefaultClock(gen Generation) int {
+	s := Speeds(gen)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[len(s)-1]
 }
 
 // Speed returns the predefined timing set for a generation and clock.
-// The supported points are the nine the paper evaluates:
-// DDR1 133/166/200, DDR2 266/333/400, DDR3 533/667/800 MHz.
+// The supported points are the nine the paper evaluates — DDR1
+// 133/166/200, DDR2 266/333/400, DDR3 533/667/800 MHz — plus the modern
+// extensions DDR4 1066/1200/1333 and LPDDR3 800/933/1066 MHz.
 func Speed(gen Generation, clockMHz int) (Timing, error) {
 	t, ok := grades[speedKey{gen, clockMHz}]
 	if !ok {

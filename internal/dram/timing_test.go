@@ -3,7 +3,7 @@ package dram
 import "testing"
 
 func TestAllPredefinedGradesValidate(t *testing.T) {
-	for _, gen := range []Generation{DDR1, DDR2, DDR3} {
+	for _, gen := range Generations() {
 		speeds := Speeds(gen)
 		if len(speeds) != 3 {
 			t.Fatalf("%s: want 3 predefined speeds, got %v", gen, speeds)
@@ -27,8 +27,11 @@ func TestSpeedUnknownGrade(t *testing.T) {
 }
 
 func TestSpeedsAscending(t *testing.T) {
-	for _, gen := range []Generation{DDR1, DDR2, DDR3} {
+	for _, gen := range Generations() {
 		s := Speeds(gen)
+		if len(s) == 0 {
+			t.Fatalf("%s: no predefined speeds", gen)
+		}
 		for i := 1; i < len(s); i++ {
 			if s[i-1] >= s[i] {
 				t.Errorf("%s: speeds not ascending: %v", gen, s)

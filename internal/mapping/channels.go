@@ -31,7 +31,7 @@ const (
 	// banks 0..B-1 live on channel 0, banks B..2B-1 on channel 1, and so
 	// on. Streams that walk banks sequentially drain one channel before
 	// touching the next — the contiguous layout, analogous to
-	// dram.InterleaveBankRowCol one level up.
+	// InterleaveBankRowCol one level up.
 	BankThenChannel ChannelScheme = iota
 	// ChannelThenBankXOR places the channel bits below the bank bits and
 	// XOR-folds the row's low bits into the channel selection:

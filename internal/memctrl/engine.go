@@ -88,6 +88,14 @@ type engine struct {
 	// controller keeps strict arrival order.
 	ooo bool
 
+	// salp marks a subarray-parallel device (Timing.Subarrays > 1): bank
+	// hazards narrow to the owning subarray, CAS/PRE commands carry the
+	// row so the device can select its buffer, and the ready-at hints use
+	// the Row-resolved variants. With one buffer per bank every salp
+	// branch below degenerates to the classic path.
+	salp bool
+	subs int // row buffers per bank (>= 1)
+
 	inflight []*reqState
 	draining []*reqState // all CAS issued; awaiting data-window end
 	lastKind noc.Kind    // direction of the most recent column command
@@ -109,11 +117,17 @@ type engine struct {
 
 func newEngine(dev *dram.Device, policy PagePolicy, depth int, onDone func(Completion)) *engine {
 	t := dev.Timing()
+	subs := t.Subarrays
+	if subs < 1 {
+		subs = 1
+	}
 	return &engine{
 		dev:          dev,
 		t:            t,
 		policy:       policy,
 		depth:        depth,
+		salp:         subs > 1,
+		subs:         subs,
 		refreshEvery: t.TREFI,
 		nextRefresh:  t.TREFI,
 		onDone:       onDone,
@@ -240,10 +254,14 @@ func (e *engine) maybeRefresh(now int64) bool {
 		e.refreshIssueBlocked(now)
 		return true
 	}
-	// Precharge any open bank, one per cycle.
+	// Precharge any open bank, one per cycle (in salp mode OpenRow walks
+	// the subarrays lowest-first, so open siblings close one at a time).
 	for b := 0; b < e.t.Banks; b++ {
-		if _, open := e.dev.OpenRow(b, now); open {
+		if row, open := e.dev.OpenRow(b, now); open {
 			cmd := dram.Command{Kind: dram.CmdPrecharge, Bank: b}
+			if e.salp {
+				cmd.Row = row
+			}
 			if e.dev.CanIssue(cmd, now) {
 				e.mustIssue(cmd, now)
 			}
@@ -297,12 +315,18 @@ func (e *engine) tryCAS(now int64) bool {
 
 // olderSameBank reports whether an older inflight request targets the
 // same bank as inflight[i] (reordering across it would break the page
-// ownership order).
+// ownership order). In salp mode ownership is per row buffer, so older
+// requests bound for sibling subarrays of the same bank do not block.
 func (e *engine) olderSameBank(i int) bool {
+	r := e.inflight[i]
 	for _, o := range e.inflight[:i] {
-		if o.pkt.Addr.Bank == e.inflight[i].pkt.Addr.Bank {
-			return true
+		if o.pkt.Addr.Bank != r.pkt.Addr.Bank {
+			continue
 		}
+		if e.salp && o.pkt.Addr.Row%e.subs != r.pkt.Addr.Row%e.subs {
+			continue
+		}
+		return true
 	}
 	return false
 }
@@ -310,8 +334,11 @@ func (e *engine) olderSameBank(i int) bool {
 // issueCASFor issues the next column command of inflight[i] if its row is
 // open and the command is legal, retiring the request on its last burst.
 func (e *engine) issueCASFor(r *reqState, i int, now int64) bool {
-	row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now)
-	if !open || row != r.pkt.Addr.Row {
+	if e.salp {
+		if !e.dev.RowOpen(r.pkt.Addr.Bank, r.pkt.Addr.Row, now) {
+			return false
+		}
+	} else if row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now); !open || row != r.pkt.Addr.Row {
 		return false
 	}
 	remaining := r.pkt.Beats - r.beatsDone
@@ -324,6 +351,9 @@ func (e *engine) issueCASFor(r *reqState, i int, now int64) bool {
 	cmd := dram.Command{
 		Kind: kind, Bank: r.pkt.Addr.Bank, Col: r.pkt.Addr.Col + r.beatsDone,
 		BL: bl, AutoPrecharge: e.useAP(r, last),
+	}
+	if e.salp {
+		cmd.Row = r.pkt.Addr.Row
 	}
 	if !e.dev.CanIssue(cmd, now) {
 		return false
@@ -348,7 +378,16 @@ func (e *engine) issueCASFor(r *reqState, i int, now int64) bool {
 // request to the same bank must own the row first).
 func (e *engine) actTarget(now int64) *reqState {
 	for i, r := range e.inflight {
-		if _, open := e.dev.OpenRow(r.pkt.Addr.Bank, now); open {
+		if e.salp {
+			// ACT only when the row's own subarray is free: an open hit is
+			// the CAS buffer's job, a conflicting occupant the PRE buffer's.
+			if e.dev.RowOpen(r.pkt.Addr.Bank, r.pkt.Addr.Row, now) {
+				continue
+			}
+			if _, blocked := e.dev.BlockingRow(r.pkt.Addr.Bank, r.pkt.Addr.Row, now); blocked {
+				continue
+			}
+		} else if _, open := e.dev.OpenRow(r.pkt.Addr.Bank, now); open {
 			continue
 		}
 		if e.olderHazard(i) {
@@ -360,11 +399,16 @@ func (e *engine) actTarget(now int64) *reqState {
 }
 
 // olderHazard reports whether any older inflight request uses the same
-// bank as inflight[i] with a different row.
+// bank as inflight[i] with a different row. In salp mode only rows
+// sharing a subarray contend for the row buffer, so different rows in
+// sibling subarrays coexist without a hazard.
 func (e *engine) olderHazard(i int) bool {
 	r := e.inflight[i]
 	for _, o := range e.inflight[:i] {
 		if o.pkt.Addr.Bank == r.pkt.Addr.Bank && o.pkt.Addr.Row != r.pkt.Addr.Row {
+			if e.salp && o.pkt.Addr.Row%e.subs != r.pkt.Addr.Row%e.subs {
+				continue
+			}
 			return true
 		}
 	}
@@ -389,14 +433,20 @@ func (e *engine) tryACT(now int64) bool {
 // first request that needs it (bank conflict), respecting order hazards.
 func (e *engine) tryPRE(now int64) bool {
 	for i, r := range e.inflight {
-		row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now)
-		if !open || row == r.pkt.Addr.Row {
+		if e.salp {
+			if _, blocked := e.dev.BlockingRow(r.pkt.Addr.Bank, r.pkt.Addr.Row, now); !blocked {
+				continue
+			}
+		} else if row, open := e.dev.OpenRow(r.pkt.Addr.Bank, now); !open || row == r.pkt.Addr.Row {
 			continue
 		}
 		if e.olderHazard(i) {
 			continue
 		}
 		cmd := dram.Command{Kind: dram.CmdPrecharge, Bank: r.pkt.Addr.Bank}
+		if e.salp {
+			cmd.Row = r.pkt.Addr.Row
+		}
 		if e.dev.CanIssue(cmd, now) {
 			e.mustIssue(cmd, now)
 			return true
@@ -464,6 +514,27 @@ func (e *engine) nextEvent(now int64) int64 {
 // command could issue, from the device's conservative timing hints.
 func (e *engine) reqReadyAt(r *reqState, now int64) int64 {
 	bank := r.pkt.Addr.Bank
+	if e.salp {
+		// Judge readiness against the row's own subarray, not the bank
+		// aggregate — a sibling's open row neither serves nor blocks us.
+		want := r.pkt.Addr.Row
+		switch {
+		case e.dev.RowOpen(bank, want, now):
+			if e.dev.RowAutoPrechargePending(bank, want, now) {
+				return e.dev.RowActivateReadyAt(bank, want, now)
+			}
+			kind := dram.CmdRead
+			if r.pkt.Kind == noc.Write {
+				kind = dram.CmdWrite
+			}
+			return e.dev.RowColumnReadyAt(bank, want, kind, now)
+		default:
+			if _, blocked := e.dev.BlockingRow(bank, want, now); blocked {
+				return e.dev.RowPrechargeReadyAt(bank, want, now)
+			}
+			return e.dev.RowActivateReadyAt(bank, want, now)
+		}
+	}
 	row, open := e.dev.OpenRow(bank, now)
 	switch {
 	case open && e.dev.AutoPrechargePending(bank, now):

@@ -95,17 +95,22 @@ func Generate(seed uint64, o GenOptions) *Spec {
 		Mesh:     Mesh{Width: w, Height: h},
 		MemPorts: append([]Coord(nil), ports...),
 		Clocks: Clocks{
-			DDR1: sim.Pick(rng, dram.Speeds(dram.DDR1)),
-			DDR2: sim.Pick(rng, dram.Speeds(dram.DDR2)),
-			DDR3: sim.Pick(rng, dram.Speeds(dram.DDR3)),
+			DDR1:   sim.Pick(rng, dram.Speeds(dram.DDR1)),
+			DDR2:   sim.Pick(rng, dram.Speeds(dram.DDR2)),
+			DDR3:   sim.Pick(rng, dram.Speeds(dram.DDR3)),
+			DDR4:   sim.Pick(rng, dram.Speeds(dram.DDR4)),
+			LPDDR3: sim.Pick(rng, dram.Speeds(dram.LPDDR3)),
 		},
 		Run: &Run{
-			Generation:     1 + rng.Intn(3),
+			Generation:     1 + rng.Intn(int(dram.LPDDR3)),
 			Channels:       channels,
 			Scheme:         scheme,
 			Scheduler:      sched,
 			PriorityDemand: rng.Intn(2) == 0,
 			Seed:           seed,
+			// Subarray-parallel banks on a minority of scenarios, so the
+			// checked matrix exercises the MASA structure end to end.
+			Subarrays: sim.Pick(rng, []int{0, 0, 0, 2, 4}),
 		},
 	}
 

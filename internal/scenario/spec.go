@@ -44,7 +44,7 @@ var (
 	// ErrSpec reports well-formed JSON describing an impossible scenario
 	// (overlapping cores, empty stream menus, bad clock grades, ...).
 	ErrSpec = errors.New("invalid scenario spec")
-	// ErrBadGeneration reports a DDR generation outside 1-3.
+	// ErrBadGeneration reports a DDR generation outside 1-5.
 	ErrBadGeneration = errors.New("invalid DDR generation")
 	// ErrBadChannels reports a channel count the memory ports (or the
 	// interleaving scheme) cannot support.
@@ -71,12 +71,17 @@ type Mesh struct {
 
 // Clocks lists the memory clock per DDR generation, in MHz. Every clock
 // must be one of the generation's predefined speed grades
-// (dram.Speeds); all three must be set so generation sweeps (the table
-// drivers) work on any spec.
+// (dram.Speeds); the classic three must be set so generation sweeps
+// (the table drivers) work on any spec. The DDR4 and LPDDR3 clocks are
+// optional: a run on those generations defaults to the fastest standard
+// grade when the spec carries none, so every pre-existing spec keeps
+// parsing, hashing and running byte-identically.
 type Clocks struct {
-	DDR1 int `json:"ddr1"`
-	DDR2 int `json:"ddr2"`
-	DDR3 int `json:"ddr3"`
+	DDR1   int `json:"ddr1"`
+	DDR2   int `json:"ddr2"`
+	DDR3   int `json:"ddr3"`
+	DDR4   int `json:"ddr4,omitempty"`
+	LPDDR3 int `json:"lpddr3,omitempty"`
 }
 
 // StreamSpec is the declarative form of one request stream — the same
@@ -121,7 +126,8 @@ type CoreSpec struct {
 // default" (for an embedded block) or "keep the spec's value" (for an
 // override), exactly like the zero fields of system.Config.
 type Run struct {
-	// Generation is the DDR generation 1-3 (0 defaults to 2).
+	// Generation is the DDR generation 1-5 — DDR1/2/3, 4 for DDR4,
+	// 5 for LPDDR3 (0 defaults to 2).
 	Generation int `json:"generation,omitempty"`
 	// ClockMHz overrides the spec's clock for the generation.
 	ClockMHz int `json:"clockMHz,omitempty"`
@@ -144,6 +150,9 @@ type Run struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// SampleEvery enables time-series sampling at this interval.
 	SampleEvery int64 `json:"sampleEvery,omitempty"`
+	// Subarrays enables MASA-style subarray-level parallelism: this many
+	// independent row buffers per bank (0 or 1: the classic bank).
+	Subarrays int `json:"subarrays,omitempty"`
 }
 
 // Spec is one complete scenario: the platform, the workload, and
@@ -213,6 +222,15 @@ func (s *Spec) Validate() error {
 			return fmt.Errorf("scenario: %w: %s DDR%d clock %d: %v", ErrSpec, s.Name, gen, clk, err)
 		}
 	}
+	for _, gen := range []dram.Generation{dram.DDR4, dram.LPDDR3} {
+		clk := app.Clocks[gen]
+		if clk == 0 {
+			continue // optional: the run layer defaults to the fastest grade
+		}
+		if _, err := dram.Speed(gen, clk); err != nil {
+			return fmt.Errorf("scenario: %w: %s %s clock %d: %v", ErrSpec, s.Name, gen, clk, err)
+		}
+	}
 	run := Run{}
 	if s.Run != nil {
 		run = *s.Run
@@ -247,6 +265,14 @@ func (s *Spec) App() (appmodel.App, error) {
 			dram.DDR2: s.Clocks.DDR2,
 			dram.DDR3: s.Clocks.DDR3,
 		},
+	}
+	// The optional generations enter the clock map only when set, so a
+	// spec round-tripped from a DDR1-3 model stays deeply equal to it.
+	if s.Clocks.DDR4 != 0 {
+		app.Clocks[dram.DDR4] = s.Clocks.DDR4
+	}
+	if s.Clocks.LPDDR3 != 0 {
+		app.Clocks[dram.LPDDR3] = s.Clocks.LPDDR3
 	}
 	if len(s.MemPorts) > 1 {
 		for _, p := range s.MemPorts {
@@ -295,9 +321,11 @@ func FromApp(a appmodel.App) *Spec {
 		Name: a.Name,
 		Mesh: Mesh{Width: a.Width, Height: a.Height},
 		Clocks: Clocks{
-			DDR1: a.Clocks[dram.DDR1],
-			DDR2: a.Clocks[dram.DDR2],
-			DDR3: a.Clocks[dram.DDR3],
+			DDR1:   a.Clocks[dram.DDR1],
+			DDR2:   a.Clocks[dram.DDR2],
+			DDR3:   a.Clocks[dram.DDR3],
+			DDR4:   a.Clocks[dram.DDR4],
+			LPDDR3: a.Clocks[dram.LPDDR3],
 		},
 	}
 	for _, p := range a.Ports() {
@@ -379,6 +407,9 @@ func (r Run) Merge(def Run) Run {
 	if r.SampleEvery == 0 {
 		r.SampleEvery = def.SampleEvery
 	}
+	if r.Subarrays == 0 {
+		r.Subarrays = def.Subarrays
+	}
 	return r
 }
 
@@ -396,8 +427,8 @@ func Resolve(app appmodel.App, r Run) (system.Config, error) {
 	if r.Generation == 0 {
 		gen = dram.DDR2
 	}
-	if gen < dram.DDR1 || gen > dram.DDR3 {
-		return system.Config{}, fmt.Errorf("scenario: %w %d (want 1-3)", ErrBadGeneration, r.Generation)
+	if gen < dram.DDR1 || gen > dram.LPDDR3 {
+		return system.Config{}, fmt.Errorf("scenario: %w %d (want 1-5)", ErrBadGeneration, r.Generation)
 	}
 	if r.Channels < 0 {
 		return system.Config{}, fmt.Errorf("scenario: %w %d", ErrBadChannels, r.Channels)
@@ -436,12 +467,16 @@ func Resolve(app appmodel.App, r Run) (system.Config, error) {
 	if r.SampleEvery < 0 {
 		return system.Config{}, fmt.Errorf("scenario: %w %d", ErrBadSampleEvery, r.SampleEvery)
 	}
+	if r.Subarrays < 0 {
+		return system.Config{}, fmt.Errorf("scenario: %w: negative subarray count %d", ErrSpec, r.Subarrays)
+	}
 	return system.Config{
 		App: app, Gen: gen, ClockMHz: r.ClockMHz,
 		Channels: channels, Scheme: scheme, Scheduler: sched,
 		PriorityDemand: r.PriorityDemand,
 		Cycles:         r.Cycles, Warmup: r.Warmup, Seed: r.Seed,
 		SampleEvery: r.SampleEvery,
+		Subarrays:   r.Subarrays,
 	}, nil
 }
 

@@ -35,7 +35,7 @@ func Fingerprint(cfg system.Config) (string, bool) {
 		fmt.Fprintf(h, "port=%+v|", p)
 	}
 	fmt.Fprintf(h, "chan=%d scheme=%d|", c.Channels, c.Scheme)
-	for gen := dram.DDR1; gen <= dram.DDR3; gen++ {
+	for gen := dram.DDR1; gen <= dram.LPDDR3; gen++ {
 		fmt.Fprintf(h, "clk%d=%d|", gen, c.App.Clocks[gen])
 	}
 	for _, core := range c.App.Cores {
@@ -50,11 +50,11 @@ func Fingerprint(cfg system.Config) (string, bool) {
 	// fields, so neither may be served from (or into) a differently
 	// configured point's cache entry.
 	fmt.Fprintf(h,
-		"gen=%d clk=%d design=%d sched=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t sample=%d chk=%t|",
+		"gen=%d clk=%d design=%d sched=%d pct=%d gssr=%d pd=%t cyc=%d warm=%d seed=%d buf=%d vc=%d adapt=%t cap=%d pipe=%d split=%d tag=%t sample=%d chk=%t subs=%d|",
 		c.Gen, c.ClockMHz, c.Design, c.Scheduler, c.PCT, c.GSSRouters, c.PriorityDemand,
 		c.Cycles, c.Warmup, c.Seed, c.BufFlits, c.VirtualChannels,
 		c.AdaptiveRouting, c.InjectCap, c.MemPipeline, c.SplitGranularity,
-		c.TagEveryRequest, c.SampleEvery, c.Checked)
+		c.TagEveryRequest, c.SampleEvery, c.Checked, c.Subarrays)
 	// The spec hash ties a spec-driven run to its workload content; the
 	// workload-stats flag shapes the report (like SampleEvery/Checked)
 	// without perturbing the simulation, so it must split cache entries

@@ -80,7 +80,7 @@ func (r *Runner) finalChecks(rep *obs.Report) {
 
 	// Logical request conservation: every generated request is completed
 	// or still outstanding in the parents table.
-	outstanding := int64(len(r.parents))
+	outstanding := int64(r.parents.Len())
 	if r.met.Generated != r.met.Completed+outstanding {
 		c.Reportf(-1, "runner", "request-accounting",
 			"generated %d != completed %d + outstanding %d",
@@ -88,7 +88,7 @@ func (r *Runner) finalChecks(rep *obs.Report) {
 	}
 	// Split-chain bounds and the per-core ledger.
 	perCore := make([]int64, len(r.cores))
-	for id, l := range r.parents {
+	r.parents.each(func(id int64, l *logical) {
 		if l.pending < 1 {
 			c.Reportf(-1, "runner", "split-accounting",
 				"outstanding request %d has %d pending splits", id, l.pending)
@@ -96,7 +96,7 @@ func (r *Runner) finalChecks(rep *obs.Report) {
 		if l.core >= 0 && l.core < len(perCore) {
 			perCore[l.core]++
 		}
-	}
+	})
 	for i := range r.cores {
 		if r.genPerCore[i] != r.coreStats[i].Completed+perCore[i] {
 			c.Reportf(-1, "runner", "request-accounting",

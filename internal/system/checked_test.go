@@ -72,12 +72,13 @@ func TestCheckedDoesNotPerturbResults(t *testing.T) {
 func TestCheckedPropertyRandomConfigs(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	apps := appmodel.Apps()
-	gens := []dram.Generation{dram.DDR1, dram.DDR2, dram.DDR3}
+	gens := dram.Generations()
 	designs := Designs()
 	for i := 0; i < 12; i++ {
 		cfg := Config{
 			App:             apps[rng.Intn(len(apps))],
 			Gen:             gens[rng.Intn(len(gens))],
+			Subarrays:       []int{0, 0, 2, 4}[rng.Intn(4)],
 			Design:          designs[rng.Intn(len(designs))],
 			PCT:             1 + rng.Intn(5),
 			Cycles:          2_000 + int64(rng.Intn(2_000)),

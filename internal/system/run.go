@@ -27,6 +27,15 @@ type Config struct {
 	ClockMHz int // 0: the application's clock for Gen
 	Design   Design
 
+	// Subarrays enables MASA-style subarray-level parallelism: each bank
+	// carries this many independent row buffers (rows map to buffers by
+	// row mod Subarrays), so same-bank accesses to different subarrays
+	// proceed without a precharge/activate cycle. 0 or 1 is the classic
+	// one-buffer bank, byte-identical to runs predating the knob. The
+	// structure is plumbed end to end: device timing, controller hazards,
+	// GSS conflict filters and the checked-mode shadow monitor all see it.
+	Subarrays int
+
 	// Channels is the number of independent SDRAM channels (default 1).
 	// Each channel is its own controller/device pair behind its own mesh
 	// ejection port (App.MemPorts); a request's owning channel is a pure
@@ -215,6 +224,12 @@ func (c Config) withDefaults() Config {
 	if c.ClockMHz == 0 {
 		c.ClockMHz = c.App.Clocks[c.Gen]
 	}
+	if c.ClockMHz == 0 {
+		// Application models predating a generation (the builtin media
+		// platforms carry DDR1-3 clocks only) default to its fastest
+		// standard speed grade.
+		c.ClockMHz = dram.DefaultClock(c.Gen)
+	}
 	if c.PCT == 0 {
 		c.PCT = 3
 	}
@@ -267,6 +282,71 @@ type logical struct {
 	beats    int
 }
 
+// parentTable maps logical-request parent IDs to their records without
+// hashing. Parent IDs are monotonic packet IDs, so the live IDs occupy a
+// window [base, base+len(slots)): lookup is a bounds check plus an
+// index, and completion trims the dead head so the window tracks the
+// outstanding range. IDs that were never parents leave nil gap slots;
+// the map hashing this replaces was a top bucket on the saturated-load
+// profile (delta recorded in BENCH_trajectory.jsonl).
+type parentTable struct {
+	base  int64      // ID of slots[0]
+	slots []*logical // nil: completed, or an ID that was never a parent
+	live  int
+}
+
+// get returns the record for an ID, or nil.
+func (t *parentTable) get(id int64) *logical {
+	i := id - t.base
+	if i < 0 || i >= int64(len(t.slots)) {
+		return nil
+	}
+	return t.slots[i]
+}
+
+// put registers a record under a fresh ID (IDs only grow).
+func (t *parentTable) put(id int64, l *logical) {
+	if len(t.slots) == 0 {
+		t.base = id
+	}
+	for id-t.base >= int64(len(t.slots)) {
+		t.slots = append(t.slots, nil)
+	}
+	t.slots[id-t.base] = l
+	t.live++
+}
+
+// del drops an ID's record and advances the window past the dead head.
+// Each slot is trimmed exactly once, so deletion is amortised O(1).
+func (t *parentTable) del(id int64) {
+	i := id - t.base
+	if i < 0 || i >= int64(len(t.slots)) || t.slots[i] == nil {
+		return
+	}
+	t.slots[i] = nil
+	t.live--
+	n := 0
+	for n < len(t.slots) && t.slots[n] == nil {
+		n++
+	}
+	if n > 0 {
+		t.slots = t.slots[n:]
+		t.base += int64(n)
+	}
+}
+
+// Len reports the live record count.
+func (t *parentTable) Len() int { return t.live }
+
+// each visits every live record in ID order.
+func (t *parentTable) each(fn func(id int64, l *logical)) {
+	for i, l := range t.slots {
+		if l != nil {
+			fn(t.base+int64(i), l)
+		}
+	}
+}
+
 // coreNI is one core's network interface: traffic generators, request
 // injector and response sink.
 type coreNI struct {
@@ -302,7 +382,7 @@ type Runner struct {
 
 	cores   []*coreNI
 	bySrc   map[noc.Coord]*coreNI
-	parents map[int64]*logical
+	parents parentTable
 
 	split  *core.Splitter // nil when the design does not split
 	nextID int64
@@ -384,8 +464,17 @@ func New(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Design.usesSAGM() && cfg.Gen != dram.DDR3 {
+	if cfg.Design.usesSAGM() && !timing.OTF {
+		// SAGM matches the access granularity with BL4 bursts; devices
+		// with on-the-fly burst chop (DDR3/DDR4) stay in BL8 mode and chop
+		// per command instead.
 		timing = timing.WithDeviceBL(4)
+	}
+	if cfg.Subarrays < 0 {
+		return nil, fmt.Errorf("system: negative subarray count %d", cfg.Subarrays)
+	}
+	if cfg.Subarrays > 1 {
+		timing = timing.WithSubarrays(cfg.Subarrays)
 	}
 	allPorts := cfg.App.Ports()
 	if cfg.Channels < 1 {
@@ -400,14 +489,13 @@ func New(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	r := &Runner{
-		cfg:     cfg,
-		timing:  timing,
-		ports:   allPorts[:cfg.Channels],
-		chmap:   chmap,
-		chSent:  make([]int64, cfg.Channels),
-		chDone:  make([]int64, cfg.Channels),
-		bySrc:   map[noc.Coord]*coreNI{},
-		parents: map[int64]*logical{},
+		cfg:    cfg,
+		timing: timing,
+		ports:  allPorts[:cfg.Channels],
+		chmap:  chmap,
+		chSent: make([]int64, cfg.Channels),
+		chDone: make([]int64, cfg.Channels),
+		bySrc:  map[noc.Coord]*coreNI{},
 	}
 	if r.reqMesh, err = noc.NewMeshVC(cfg.App.Width, cfg.App.Height, cfg.BufFlits, cfg.VirtualChannels); err != nil {
 		return nil, err
@@ -504,7 +592,7 @@ func New(cfg Config) (*Runner, error) {
 			sink: r.respMesh.AttachSink(spec.Pos, 2*cfg.BufFlits, 16),
 		}
 		ni.inj.OnFirstFlit = func(p *noc.Packet, now int64) {
-			if l, ok := r.parents[p.ParentID]; ok && l.entry < 0 {
+			if l := r.parents.get(p.ParentID); l != nil && l.entry < 0 {
 				l.entry = now
 			}
 		}
@@ -621,7 +709,7 @@ func (r *Runner) installAllocators() {
 			ReadIdle:  r.timing.TRP,
 		}
 	}
-	gssCfg := core.Config{Banks: r.timing.Banks, STI: sti}
+	gssCfg := core.Config{Banks: r.timing.Banks, Subarrays: r.timing.Subarrays, STI: sti}
 	gssCfg.PCT = cfg.Design.pctFor(cfg.PCT, gssCfg.MaxTokens())
 	for _, rt := range r.reqMesh.Routers {
 		switch {
@@ -711,15 +799,15 @@ func (r *Runner) onMemDone(ch int, c memctrl.Completion) {
 // completeSplit retires one split of a logical request; the last one
 // records the latency sample and unblocks a closed-loop stream.
 func (r *Runner) completeSplit(p *noc.Packet, at int64) {
-	l, ok := r.parents[p.ParentID]
-	if !ok {
+	l := r.parents.get(p.ParentID)
+	if l == nil {
 		return
 	}
 	l.pending--
 	if l.pending > 0 {
 		return
 	}
-	delete(r.parents, p.ParentID)
+	r.parents.del(p.ParentID)
 	if l.core >= 0 && l.core < len(r.coreStats) {
 		cs := &r.coreStats[l.core]
 		cs.Completed++
@@ -780,7 +868,7 @@ func (r *Runner) sample(cycle, interval int64) {
 	r.samples = append(r.samples, obs.Sample{
 		Cycle:       cycle,
 		Utilization: float64(dc-r.lastSampleD) / float64(interval*int64(len(r.devs))),
-		Outstanding: len(r.parents),
+		Outstanding: r.parents.Len(),
 		QueueFlits:  queued,
 		MemReady:    ready,
 	})
@@ -825,7 +913,7 @@ func (r *Runner) injectLogical(c *coreNI, g traffic.Source, req *traffic.Request
 		read: req.Kind == noc.Read, pending: len(pkts),
 		core: base.SrcCore, beats: req.Beats,
 	}
-	r.parents[base.ID] = l
+	r.parents.put(base.ID, l)
 	r.met.Generated++
 	r.chSent[ch] += int64(len(pkts))
 	if r.genPerCore != nil && base.SrcCore >= 0 {

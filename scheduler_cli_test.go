@@ -50,3 +50,40 @@ func TestSchedulerFaultInjectionExitCode(t *testing.T) {
 		t.Errorf("stderr does not name the WCET bound violation:\n%s", out)
 	}
 }
+
+// TestTFAWFaultInjectionExitCode proves the conformance monitor's
+// four-activate-window check has teeth end to end: a DDR4 checked run
+// with the device's tFAW legality check dropped must exit 2 with tFAW
+// violations on stderr — caught by the monitor's own sliding window,
+// independent of the device helpers the fault disabled.
+func TestTFAWFaultInjectionExitCode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the aanoc-sim binary")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go tool unavailable: %v", err)
+	}
+	bin := filepath.Join(t.TempDir(), "aanoc-sim")
+	if out, err := exec.Command("go", "build", "-o", bin, "./cmd/aanoc-sim").CombinedOutput(); err != nil {
+		t.Fatalf("building aanoc-sim: %v\n%s", err, out)
+	}
+
+	clean := exec.Command(bin, "-gen", "4", "-design", "GSS+SAGM", "-priority", "-checked", "-cycles", "25000")
+	if out, err := clean.CombinedOutput(); err != nil {
+		t.Fatalf("clean checked DDR4 run failed: %v\n%s", err, out)
+	}
+
+	faulty := exec.Command(bin, "-gen", "4", "-design", "GSS+SAGM", "-priority", "-checked", "-cycles", "25000")
+	faulty.Env = append(os.Environ(), "AANOC_INJECT_FAULT=skip-tfaw")
+	out, err := faulty.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("faulty run: %v\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("faulty run exited %d, want 2:\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "tFAW") {
+		t.Errorf("stderr does not name the tFAW violation:\n%s", out)
+	}
+}

@@ -237,10 +237,13 @@ func TableIII(o TableOptions) ([]Row, error) {
 // TableSchedulers evaluates the memory-scheduler zoo against the
 // paper's controllers: each scheduler (the design default, DPQ,
 // regulated, staged) on the three applications under GSS+SAGM with
-// priority demand, on DDR II at the paper clock. It is the
+// priority demand, across a generation axis — DDR II at the paper
+// clock, plus DDR4 (bank groups, long/short tCCD/tRRD) and LPDDR3
+// (wide tFAW) at their fastest grades. It is the
 // predictability-versus-throughput comparison the zoo exists for — the
 // DPQ buys an analytic worst-case bound and the regulator buys per-bank
-// isolation, both at a utilization cost the rows quantify.
+// isolation, both at a utilization cost the rows quantify — and the
+// generation column shows how the structured-timing devices move it.
 func TableSchedulers(o TableOptions) ([]Row, error) {
 	apps, err := o.apps()
 	if err != nil {
@@ -248,12 +251,14 @@ func TableSchedulers(o TableOptions) ([]Row, error) {
 	}
 	var cfgs []system.Config
 	for _, app := range apps {
-		for _, s := range memctrl.Schedulers() {
-			cfgs = append(cfgs, o.decorate(system.Config{
-				App: app, Gen: dram.DDR2, Design: GSSSAGM, Scheduler: s,
-				PriorityDemand: true,
-				Cycles:         o.cycles(), Seed: o.Seed,
-			}))
+		for _, gen := range []dram.Generation{dram.DDR2, dram.DDR4, dram.LPDDR3} {
+			for _, s := range memctrl.Schedulers() {
+				cfgs = append(cfgs, o.decorate(system.Config{
+					App: app, Gen: gen, Design: GSSSAGM, Scheduler: s,
+					PriorityDemand: true,
+					Cycles:         o.cycles(), Seed: o.Seed,
+				}))
+			}
 		}
 	}
 	return runGrid(cfgs, o)
@@ -417,8 +422,8 @@ func FormatSchedulerRows(rows []Row) string {
 		if sched == "" {
 			sched = "default"
 		}
-		fmt.Fprintf(&b, "%-8s DDR%d %5d  %-14s %-10s %.3f %8.0f %8.0f %8.0f\n",
-			r.App, r.Gen, r.ClockMHz, r.Design, sched, r.Utilization,
+		fmt.Fprintf(&b, "%-8s %-4s %5d  %-14s %-10s %.3f %8.0f %8.0f %8.0f\n",
+			r.App, dram.Generation(r.Gen), r.ClockMHz, r.Design, sched, r.Utilization,
 			r.LatencyAll, r.LatencyDemand, r.LatencyPriority)
 	}
 	return b.String()
@@ -431,8 +436,8 @@ func FormatRows(rows []Row) string {
 	fmt.Fprintf(&b, "%-8s %-4s %5s  %-14s %6s %7s %8s %8s %8s %7s\n",
 		"app", "gen", "MHz", "design", "util", "useful", "lat-all", "lat-dem", "lat-pri", "waste")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s DDR%d %5d  %-14s %.3f  %.3f %8.0f %8.0f %8.0f %6.1f%%\n",
-			r.App, r.Gen, r.ClockMHz, r.Design, r.Utilization, r.UsefulUtilization,
+		fmt.Fprintf(&b, "%-8s %-4s %5d  %-14s %.3f  %.3f %8.0f %8.0f %8.0f %6.1f%%\n",
+			r.App, dram.Generation(r.Gen), r.ClockMHz, r.Design, r.Utilization, r.UsefulUtilization,
 			r.LatencyAll, r.LatencyDemand, r.LatencyPriority, 100*r.WasteFrac)
 	}
 	return b.String()
