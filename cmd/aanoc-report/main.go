@@ -13,7 +13,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -72,11 +71,11 @@ func main() {
 		fail(err)
 	}
 	if *jsonOut != "" {
-		data, err := json.MarshalIndent(sidecar, "", "  ")
+		data, err := obs.EncodeSidecar(sidecar)
 		if err != nil {
 			fail(err)
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fail(err)
 		}
 	}

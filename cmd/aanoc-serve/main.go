@@ -1,0 +1,102 @@
+// Command aanoc-serve exposes the simulator as a sweep service: a
+// small versioned HTTP/JSON API over the typed facade, backed by the
+// content-addressed result store so a grid point any client ever ran
+// is never simulated twice.
+//
+//	aanoc-serve -addr :8080 -store /var/cache/aanoc
+//
+//	# start a sweep
+//	curl -s -X POST localhost:8080/v1/sweep -d '{
+//	  "points":[{"design":"gss+sagm","model":"bluray","cycles":200000}]
+//	}'
+//	# → {"id":"run-1","total":1}
+//
+//	# stream progress (NDJSON; the final line carries fingerprints)
+//	curl -sN localhost:8080/v1/runs/run-1
+//
+//	# fetch the stored observability report for a fingerprint
+//	curl -s localhost:8080/v1/results/<fingerprint>
+//
+//	# counters (requests, sweeps, cache/store hits, store occupancy)
+//	curl -s localhost:8080/v1/statsz
+//
+// SIGINT/SIGTERM shut the server down gracefully: active runs are
+// cancelled (in-flight simulations abandon within one kernel epoch),
+// streams drain their final line, and listeners close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aanoc"
+	"aanoc/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8080", "listen address")
+		storeDir = flag.String("store", "", "result-store directory (empty = no persistence; sweeps still run)")
+		storeMax = flag.Int64("store-max-bytes", 0, "result-store size cap in bytes (0 = the 1 GiB default)")
+		parallel = flag.Int("parallel", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-sweep wall-clock bound (0 = none)")
+		points   = flag.Int("max-points", 0, "largest accepted grid (0 = the 4096 default)")
+	)
+	flag.Parse()
+
+	opts := serve.Options{
+		Workers:    *parallel,
+		RunTimeout: *timeout,
+		MaxPoints:  *points,
+	}
+	if *storeDir != "" {
+		st, err := aanoc.OpenStore(*storeDir, aanoc.StoreOptions{MaxBytes: *storeMax})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+		fmt.Fprintf(os.Stderr, "aanoc-serve: store %s (namespace %s)\n", *storeDir, aanoc.StoreVersion())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	api := serve.New(opts)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "aanoc-serve: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "aanoc-serve: shutting down")
+	api.Close() // cancel active runs so their streams end promptly
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aanoc-serve:", err)
+	os.Exit(1)
+}

@@ -15,7 +15,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -204,13 +203,13 @@ func writeReports(path string, reports []*obs.Report) error {
 		out = f
 	}
 	if len(reports) == 1 {
-		return reports[0].WriteJSON(out)
+		return obs.EncodeJSON(out, reports[0])
 	}
-	data, err := json.MarshalIndent(reports, "", "  ")
+	data, err := obs.EncodeSidecar(reports)
 	if err != nil {
 		return err
 	}
-	_, err = out.Write(append(data, '\n'))
+	_, err = out.Write(data)
 	return err
 }
 

@@ -11,15 +11,19 @@
 //	aanoc-sweep -sweep gss-routers -app sdtv -gen 1 -parallel 8
 //	aanoc-sweep -sweep scheduler -app bluray -gen 2 > sched.csv
 //	aanoc-sweep -sweep pct -json pct.json > pct.csv
+//	aanoc-sweep -sweep scheduler -store /var/cache/aanoc > sched.csv
 //
 // -json writes each grid point's observability report (internal/obs)
 // to a file; the CSV on stdout is byte-identical with or without it.
+// -store persists every point's result in the content-addressed result
+// store: rerunning the same sweep against a populated store simulates
+// nothing (stderr reports "store: N hits, 0 simulated") and emits
+// byte-identical CSV.
 package main
 
 import (
 	"context"
 	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,7 @@ import (
 	"aanoc/internal/memctrl"
 	"aanoc/internal/obs"
 	"aanoc/internal/scenario"
+	"aanoc/internal/store"
 	"aanoc/internal/sweep"
 	"aanoc/internal/system"
 )
@@ -49,6 +54,7 @@ func main() {
 		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent simulations (1 = serial); output is identical at any setting")
 		jsonOut   = flag.String("json", "", "also write each point's obs report as JSON to this file")
 		checked   = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
+		storeDir  = flag.String("store", "", "persistent result-store directory: points already stored are served from disk, fresh results are written back; the CSV is byte-identical either way")
 	)
 	flag.Parse()
 
@@ -182,9 +188,27 @@ func main() {
 		fatal(fmt.Errorf("unknown sweep %q", *sweepName))
 	}
 
-	results, err := sweep.Collect(cfgs, sweep.Options{Workers: *parallel, Context: ctx})
-	if err != nil {
+	opts := sweep.Options{Workers: *parallel, Context: ctx}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+	}
+	pointResults, stats := sweep.Run(cfgs, opts)
+	if err := sweep.FirstErr(pointResults); err != nil {
 		fatal(err)
+	}
+	results := make([]system.Result, len(pointResults))
+	for i, r := range pointResults {
+		results[i] = r.Res
+	}
+	if *storeDir != "" {
+		// The parity line CI asserts on: a second identical sweep against
+		// a populated store simulates nothing.
+		fmt.Fprintf(os.Stderr, "aanoc-sweep: store: %d hits, %d simulated\n",
+			stats.StoreHits, stats.Runs)
 	}
 
 	violated := false
@@ -229,11 +253,11 @@ func main() {
 		for i, res := range results {
 			side[i] = pointReport{Point: points[i], Obs: res.Obs}
 		}
-		data, err := json.MarshalIndent(side, "", "  ")
+		data, err := obs.EncodeSidecar(side)
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
 			fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 //	aanoc-tables -table sched              # scheduler zoo vs GSS+SAGM default
 //	aanoc-tables -table all                # the paper tables (1, 2, 3)
 //	aanoc-tables -table 1 -json rows.json  # machine-readable sidecar
+//	aanoc-tables -table all -store DIR     # persist/reuse results on disk
 //
 // -json writes every row — headline metrics plus the per-run
 // observability report (internal/obs) — to a file; the text tables on
@@ -15,7 +16,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +37,7 @@ func main() {
 		progress = flag.Bool("progress", false, "report per-grid progress on stderr")
 		jsonOut  = flag.String("json", "", "also write the rows (with per-run obs reports) as JSON to this file")
 		checked  = flag.Bool("checked", false, "run every grid point under the invariant layer (internal/check); violations go to stderr and exit status 2")
+		storeDir = flag.String("store", "", "persistent result-store directory: grid points already stored are served from disk, fresh results are written back; the tables are byte-identical either way")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -47,6 +48,14 @@ func main() {
 		os.Exit(1)
 	}
 	o := aanoc.TableOptions{Cycles: *cycles, Seed: *seed, Parallel: *parallel, Checked: *checked}
+	if *storeDir != "" {
+		st, err := aanoc.OpenStore(*storeDir, aanoc.StoreOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aanoc-tables:", err)
+			os.Exit(1)
+		}
+		o.Store = st
+	}
 	if *specPath != "" {
 		sp, err := aanoc.LoadSpec(*specPath)
 		if err != nil {
@@ -139,13 +148,14 @@ func reportViolations(table string, rows []aanoc.Row) {
 	}
 }
 
-// writeSidecar dumps the rows, keyed by table, as indented JSON.
+// writeSidecar dumps the rows, keyed by table, in the canonical
+// sidecar encoding.
 func writeSidecar(path string, sidecar map[string][]aanoc.Row) error {
-	data, err := json.MarshalIndent(sidecar, "", "  ")
+	data, err := obs.EncodeSidecar(sidecar)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 // printRatios prints, per design, the averages and the ratio against the

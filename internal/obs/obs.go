@@ -23,9 +23,28 @@ import (
 	"aanoc/internal/stats"
 )
 
+// Schema is the current report schema version, carried by every report
+// in SchemaVersion and stamped by EncodeJSON. The history:
+//
+//	1 — the PR-2..PR-9 sidecar (no version field; decoders treat a
+//	    missing/zero SchemaVersion as 1)
+//	2 — explicit SchemaVersion, canonical EncodeJSON/DecodeJSON pair
+//
+// Bump it whenever the serialized shape of Report changes in a way a
+// reader must know about (a field renamed, a meaning changed — not a
+// purely additive omitempty field). The persistent result store
+// (internal/store) folds Schema into its on-disk namespace, so a bump
+// also retires every stored entry written under the old schema.
+const Schema = 2
+
 // Report is one run's observability export. Serialized as JSON by the
-// CLI sidecars (aanoc-sim -json, aanoc-tables -json, ...).
+// CLI sidecars (aanoc-sim -json, aanoc-tables -json, ...) and the
+// aanoc-serve results endpoint, always through EncodeJSON.
 type Report struct {
+	// SchemaVersion is the report schema the writer produced (Schema at
+	// the time of writing); zero marks a legacy pre-versioned sidecar.
+	SchemaVersion int `json:"schemaVersion,omitempty"`
+
 	// Run identity: the resolved configuration the counters belong to.
 	Design   string `json:"design"`
 	App      string `json:"app"`
@@ -320,24 +339,38 @@ type Sample struct {
 	MemReady    int `json:"memReady"`
 }
 
-// WriteJSON serialises the report, indented, to w.
-func (r *Report) WriteJSON(w io.Writer) error {
+// EncodeJSON writes the canonical serialization of one report: two-space
+// indented JSON, newline terminated, SchemaVersion stamped to Schema when
+// the report predates stamping. Every producer in the repository — the
+// five CLI sidecar writers, the golden corpus, the result store, the
+// aanoc-serve results endpoint — goes through this function, so a report
+// has exactly one byte representation and byte-level comparisons (golden
+// tests, store round-trips, cache-parity CI) are meaningful.
+func EncodeJSON(w io.Writer, r *Report) error {
+	if r.SchemaVersion == 0 {
+		r.SchemaVersion = Schema
+	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
-		return err
+		return fmt.Errorf("obs: encode: %w", err)
 	}
 	data = append(data, '\n')
 	_, err = w.Write(data)
 	return err
 }
 
-// Parse decodes and sanity-checks one report: the CI smoke and tests use
-// it to assert a sidecar is well-formed, so it rejects structurally valid
-// JSON that could not have come from a finished run.
-func Parse(data []byte) (*Report, error) {
+// DecodeJSON is EncodeJSON's inverse: it decodes one report, rejects
+// schema versions this binary does not know (a sidecar written by a
+// newer build must not be silently misread), and applies the Validate
+// invariants. A zero SchemaVersion is accepted as the legacy
+// pre-versioned schema.
+func DecodeJSON(data []byte) (*Report, error) {
 	var r Report
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("obs: %w", err)
+	}
+	if r.SchemaVersion > Schema {
+		return nil, fmt.Errorf("obs: report schema v%d is newer than this binary's v%d", r.SchemaVersion, Schema)
 	}
 	if err := r.Validate(); err != nil {
 		return nil, err
@@ -345,9 +378,39 @@ func Parse(data []byte) (*Report, error) {
 	return &r, nil
 }
 
+// EncodeSidecar renders a report-bearing aggregate — a list of reports
+// (aanoc-sim -all), a table/point sidecar — in the same canonical form
+// EncodeJSON uses for a single report, so every JSON artifact the CLIs
+// emit shares one encoding discipline.
+func EncodeSidecar(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("obs: encode sidecar: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteJSON serialises the report, indented, to w.
+//
+// Deprecated: WriteJSON is EncodeJSON with the arguments swapped; it
+// remains for pre-schema callers. New code should use EncodeJSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	return EncodeJSON(w, r)
+}
+
+// Parse decodes and sanity-checks one report: the CI smoke and tests use
+// it to assert a sidecar is well-formed, so it rejects structurally valid
+// JSON that could not have come from a finished run. It is DecodeJSON
+// under the pre-schema name.
+func Parse(data []byte) (*Report, error) {
+	return DecodeJSON(data)
+}
+
 // Validate checks the invariants every finished run's report satisfies.
 func (r *Report) Validate() error {
 	switch {
+	case r.SchemaVersion < 0 || r.SchemaVersion > Schema:
+		return fmt.Errorf("obs: report schema version %d outside [0,%d]", r.SchemaVersion, Schema)
 	case r.Cycles <= 0:
 		return fmt.Errorf("obs: report has no cycles (%d)", r.Cycles)
 	case r.Design == "" || r.App == "":

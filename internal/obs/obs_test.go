@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -138,6 +139,53 @@ func TestValidateRejects(t *testing.T) {
 	}
 	if err := valid().Validate(); err != nil {
 		t.Errorf("valid report rejected: %v", err)
+	}
+}
+
+// TestSchemaVersion pins the versioned-schema contract: EncodeJSON
+// stamps the current schema, DecodeJSON accepts the legacy zero and the
+// stamped current version, and rejects a report from a newer writer.
+func TestSchemaVersion(t *testing.T) {
+	var buf bytes.Buffer
+	r := valid()
+	if r.SchemaVersion != 0 {
+		t.Fatalf("fixture already versioned: %d", r.SchemaVersion)
+	}
+	if err := EncodeJSON(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if r.SchemaVersion != Schema {
+		t.Errorf("EncodeJSON stamped %d, want %d", r.SchemaVersion, Schema)
+	}
+	if !strings.Contains(buf.String(), `"schemaVersion": 2`) {
+		t.Error("encoded report does not carry schemaVersion")
+	}
+	back, err := DecodeJSON(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != Schema {
+		t.Errorf("decoded schema %d, want %d", back.SchemaVersion, Schema)
+	}
+
+	// Legacy sidecar: no version field at all.
+	legacy := valid()
+	var lbuf bytes.Buffer
+	data, _ := json.MarshalIndent(legacy, "", "  ")
+	lbuf.Write(data)
+	if _, err := DecodeJSON(lbuf.Bytes()); err != nil {
+		t.Errorf("legacy (unversioned) report rejected: %v", err)
+	}
+
+	// A report from the future must be refused, not misread.
+	future := valid()
+	future.SchemaVersion = Schema + 1
+	fdata, _ := json.Marshal(future)
+	if _, err := DecodeJSON(fdata); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Errorf("future-schema report not rejected: %v", err)
+	}
+	if err := future.Validate(); err == nil {
+		t.Error("Validate accepted a future schema version")
 	}
 }
 

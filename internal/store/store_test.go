@@ -1,0 +1,362 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aanoc/internal/appmodel"
+	"aanoc/internal/dram"
+	"aanoc/internal/sweep"
+	"aanoc/internal/system"
+)
+
+// open builds a store in a fresh temp directory.
+func open(t *testing.T, o Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// fabricated builds a small synthetic Result plus a syntactically valid
+// fingerprint for it — store tests don't need the simulator for most
+// properties, only bytes that round-trip.
+func fabricated(seed byte) (string, system.Result) {
+	fp := strings.Repeat(string([]byte{'a' + seed%6}), 64)
+	return fp, system.Result{
+		Design: system.GSSSAGM, App: "bluray", Gen: dram.DDR2,
+		ClockMHz: 333, Cycles: 1000,
+		Utilization: 0.25 + float64(seed)/1000,
+		Generated:   100 + int64(seed), Completed: 90 + int64(seed),
+	}
+}
+
+func TestRoundTripByteIdentical(t *testing.T) {
+	s := open(t, Options{})
+	fp, res := fabricated(1)
+	if err := s.Put(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := s.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("Get after Put: ok=%v err=%v", ok, err)
+	}
+	want, _ := json.Marshal(res)
+	got, _ := json.Marshal(back)
+	if string(want) != string(got) {
+		t.Errorf("round trip not byte-identical:\n put %s\n got %s", want, got)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Entries != 1 || st.SizeBytes <= 0 {
+		t.Errorf("stats after one put/get: %+v", st)
+	}
+}
+
+// TestRealRunRoundTrip pins the property the whole store rests on: a
+// genuine simulation Result — observability report, per-core stats,
+// device counters, float64 metrics — survives the disk round trip with
+// byte-identical canonical JSON, so store-served CLI output matches
+// freshly simulated output exactly.
+func TestRealRunRoundTrip(t *testing.T) {
+	cfg := system.Config{
+		App: appmodel.BluRay(), Gen: dram.DDR2,
+		Design: system.GSSSAGM, Cycles: 2000, Seed: 7,
+	}
+	fp, cacheable := sweep.Fingerprint(cfg)
+	if !cacheable {
+		t.Fatal("plain config not cacheable")
+	}
+	res, err := system.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := open(t, Options{})
+	if err := s.Put(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := s.Get(fp)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	want, _ := json.Marshal(res)
+	got, _ := json.Marshal(back)
+	if string(want) != string(got) {
+		t.Error("real run result not byte-identical after disk round trip")
+	}
+	if back.Obs == nil || back.Obs.Design != res.Obs.Design {
+		t.Error("observability report lost in round trip")
+	}
+}
+
+func TestMissIsNotAnError(t *testing.T) {
+	s := open(t, Options{})
+	fp, _ := fabricated(2)
+	_, ok, err := s.Get(fp)
+	if ok || err != nil {
+		t.Fatalf("empty-store Get: ok=%v err=%v, want clean miss", ok, err)
+	}
+	if st := s.Stats(); st.Misses != 1 {
+		t.Errorf("miss not counted: %+v", st)
+	}
+}
+
+// TestCorruptEntryDetectedAndRemoved injects corruption three ways —
+// flipped payload bytes, truncation, and a wholesale garbage file — and
+// requires each to surface as ErrCorrupt, remove the entry, and leave
+// the next Get a clean miss (the self-healing contract: corruption
+// costs one re-simulation, never a wrong result).
+func TestCorruptEntryDetectedAndRemoved(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			i := len(b) / 2
+			b[i] ^= 0xff
+			return b
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"garbage", func([]byte) []byte { return []byte("not json at all") }},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t, Options{})
+			fp, res := fabricated(3)
+			if err := s.Put(fp, res); err != nil {
+				t.Fatal(err)
+			}
+			path, _ := s.path(fp)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, tc.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, ok, err := s.Get(fp)
+			if ok || !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("corrupt Get: ok=%v err=%v, want ErrCorrupt", ok, err)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Error("corrupt entry not removed")
+			}
+			if _, ok, err := s.Get(fp); ok || err != nil {
+				t.Errorf("post-removal Get: ok=%v err=%v, want clean miss", ok, err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("corruption not counted: %+v", st)
+			}
+		})
+	}
+}
+
+// TestForeignNamespaceRejected: an entry whose envelope claims a
+// different store version (or fingerprint) must not be served even if
+// its payload hash checks out — the namespace directory is the
+// versioning mechanism and an entry contradicting it is damage.
+func TestForeignNamespaceRejected(t *testing.T) {
+	s := open(t, Options{})
+	fp, res := fabricated(4)
+	if err := s.Put(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	path, _ := s.path(fp)
+	data, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(data), s.version, "v0-s0-000000000000", 1)
+	if tampered == string(data) {
+		t.Fatal("envelope does not carry the namespace")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fp); ok || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("foreign-namespace entry served: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMalformedFingerprintRejected(t *testing.T) {
+	s := open(t, Options{})
+	for _, fp := range []string{
+		"", "short", strings.Repeat("A", 64), // upper case is not canonical
+		"../../../../etc/passwd" + strings.Repeat("a", 41),
+		strings.Repeat("a", 63) + "/",
+	} {
+		if _, _, err := s.Get(fp); err == nil {
+			t.Errorf("Get accepted malformed fingerprint %q", fp)
+		}
+		if err := s.Put(fp, system.Result{}); err == nil {
+			t.Errorf("Put accepted malformed fingerprint %q", fp)
+		}
+	}
+}
+
+// TestConcurrentWritersOneFile: many goroutines writing the same
+// fingerprint must leave exactly one readable entry (atomic rename,
+// identical bytes) and no temp-file litter.
+func TestConcurrentWritersOneFile(t *testing.T) {
+	s := open(t, Options{})
+	fp, res := fabricated(5)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if err := s.Put(fp, res); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	shard := filepath.Dir(mustPath(t, s, fp))
+	entries, err := os.ReadDir(shard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != fp+".json" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("shard holds %v, want exactly one entry", names)
+	}
+	if _, ok, err := s.Get(fp); !ok || err != nil {
+		t.Fatalf("entry unreadable after concurrent writes: ok=%v err=%v", ok, err)
+	}
+}
+
+func mustPath(t *testing.T, s *Store, fp string) string {
+	t.Helper()
+	p, err := s.path(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestLRUEviction: with a byte cap that holds roughly two entries, a
+// third Put must evict the least recently used — and a Get refreshes
+// recency, so the touched entry survives over a colder, newer one.
+func TestLRUEviction(t *testing.T) {
+	fpA, resA := fabricated(0)
+	fpB, resB := fabricated(1)
+	fpC, resC := fabricated(2)
+
+	// Price one entry to size the cap at two-and-a-bit entries.
+	probe := open(t, Options{})
+	if err := probe.Put(fpA, resA); err != nil {
+		t.Fatal(err)
+	}
+	entryBytes := probe.Stats().SizeBytes
+
+	s := open(t, Options{MaxBytes: entryBytes*2 + entryBytes/2})
+	if err := s.Put(fpA, resA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fpB, resB); err != nil {
+		t.Fatal(err)
+	}
+	// Backdate A so recency is unambiguous, then touch it via Get: B
+	// becomes the coldest entry despite being written after A.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(mustPath(t, s, fpA), old, old); err != nil {
+		t.Fatal(err)
+	}
+	older := old.Add(-time.Hour)
+	if err := os.Chtimes(mustPath(t, s, fpB), older, older); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get(fpA); !ok || err != nil {
+		t.Fatalf("Get A: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put(fpC, resC); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(fpB); ok {
+		t.Error("coldest entry B survived eviction")
+	}
+	if _, ok, err := s.Get(fpA); !ok || err != nil {
+		t.Errorf("recently used entry A evicted: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := s.Get(fpC); !ok || err != nil {
+		t.Errorf("just-written entry C evicted: ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("eviction accounting: %+v", st)
+	}
+	if st.SizeBytes > s.max {
+		t.Errorf("size %d still over cap %d", st.SizeBytes, s.max)
+	}
+}
+
+// TestUnserializableResultDegrades: a Result carrying NaN cannot be
+// JSON-marshalled; Put must fail cleanly (counted, store untouched)
+// rather than write a broken entry — the sweep integration turns this
+// into "keep the in-memory result, lose persistence for the point".
+func TestUnserializableResultDegrades(t *testing.T) {
+	s := open(t, Options{})
+	fp, res := fabricated(0)
+	res.Utilization = math.NaN()
+	err := s.Put(fp, res)
+	if err == nil {
+		t.Fatal("Put accepted a NaN result")
+	}
+	if _, ok, _ := s.Get(fp); ok {
+		t.Error("failed Put left a readable entry")
+	}
+	st := s.Stats()
+	if st.PutErrors != 1 || st.Puts != 0 || st.Entries != 0 {
+		t.Errorf("degrade accounting: %+v", st)
+	}
+}
+
+// TestReopenSeesEntriesAndSize: a second handle on the same directory
+// serves the first handle's entries and prices them for the cap.
+func TestReopenSeesEntriesAndSize(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, res := fabricated(3)
+	if err := s1.Put(fp, res); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s2.Get(fp); !ok || err != nil {
+		t.Fatalf("reopened store misses persisted entry: ok=%v err=%v", ok, err)
+	}
+	st := s2.Stats()
+	if st.Entries != 1 || st.SizeBytes != s1.Stats().SizeBytes {
+		t.Errorf("reopen scan: %+v, want the persisted entry priced", st)
+	}
+}
+
+// TestVersionNamespaceShape pins the derivation rule documented in
+// DESIGN.md: format revision, obs schema, and the pinned api surface
+// hash — so changing any of them rotates the namespace.
+func TestVersionNamespaceShape(t *testing.T) {
+	v := Version()
+	parts := strings.Split(v, "-")
+	if len(parts) != 3 || parts[0] != "v1" || !strings.HasPrefix(parts[1], "s") || len(parts[2]) != 12 {
+		t.Fatalf("Version() = %q, want v<format>-s<schema>-<12 hex>", v)
+	}
+	s := open(t, Options{})
+	if filepath.Base(s.Dir()) != v {
+		t.Errorf("store dir %q not under version namespace %q", s.Dir(), v)
+	}
+}

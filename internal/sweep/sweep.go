@@ -52,6 +52,28 @@ type Options struct {
 	// RunFunc replaces the simulation entry point; nil selects
 	// system.Run. Tests and dry-run tooling substitute fakes here.
 	RunFunc func(system.Config) (system.Result, error)
+
+	// Store, when non-nil, extends the fingerprint cache to disk:
+	// before simulating a cacheable point the owning worker consults the
+	// store, and after a successful simulation it persists the result
+	// (read-through, write-through). The store sits strictly behind the
+	// in-memory cache, so DisableCache — and any point that is not
+	// cacheable at all — bypasses it entirely, and a result the store
+	// cannot persist (a Put error) degrades to a plain uncached run
+	// rather than failing the point. A store Get error (e.g. a corrupt
+	// entry) is likewise treated as a miss: the point re-simulates.
+	Store ResultStore
+}
+
+// ResultStore is the persistent result cache the executor reads
+// through (implemented by internal/store). Get reports a verified hit;
+// a miss is (zero, false, nil) and an error — corruption, I/O — is
+// treated as a miss by the executor. Put persists one simulated
+// result; its error is advisory (the executor keeps the in-memory
+// result regardless).
+type ResultStore interface {
+	Get(fingerprint string) (system.Result, bool, error)
+	Put(fingerprint string, res system.Result) error
 }
 
 // Result is the outcome of one grid point, stored at its submission
@@ -63,6 +85,14 @@ type Result struct {
 	// Cached marks a point served from the fingerprint cache rather than
 	// its own simulation.
 	Cached bool
+	// Stored marks a point whose result came from the persistent store
+	// (Options.Store) rather than a simulation in this process. A point
+	// can be Cached and Stored at once: a duplicate of a store-served
+	// fingerprint.
+	Stored bool
+	// Fingerprint is the point's canonical config hash — empty when the
+	// point is not cacheable (see Fingerprint) or the cache is disabled.
+	Fingerprint string
 }
 
 // Stats accounts for one Run call.
@@ -71,17 +101,24 @@ type Stats struct {
 	Runs int
 	// CacheHits counts grid points served from the fingerprint cache.
 	CacheHits int
+	// StoreHits counts grid points whose owning worker was served from
+	// the persistent store instead of simulating (in-process duplicates
+	// of such a point count as CacheHits, exactly as for simulated
+	// points).
+	StoreHits int
 	// Workers is the resolved worker count (after the GOMAXPROCS default
 	// and the clamp to the grid size).
 	Workers int
 }
 
 // cacheEntry is one fingerprint's simulation: the first worker to claim
-// the fingerprint runs it and closes done; duplicates wait.
+// the fingerprint runs it (or fetches it from the store) and closes
+// done; duplicates wait.
 type cacheEntry struct {
-	done chan struct{}
-	res  system.Result
-	err  error
+	done   chan struct{}
+	res    system.Result
+	err    error
+	stored bool
 }
 
 // Run executes every configuration and returns the results in
@@ -120,13 +157,20 @@ func Run(cfgs []system.Config, o Options) ([]Result, Stats) {
 		done  int
 		next  int64 = -1
 	)
-	settle := func(i int, res system.Result, err error, cached bool) {
-		results[i] = Result{Index: i, Res: res, Err: err, Cached: cached}
+	// settle records one point's outcome; ran marks a point that
+	// actually executed a simulation (cancelled-before-start points
+	// settle with ran=false and count nowhere).
+	settle := func(i int, r Result, ran bool) {
+		r.Index = i
+		results[i] = r
 		mu.Lock()
 		defer mu.Unlock()
-		if cached {
+		switch {
+		case r.Cached:
 			st.CacheHits++
-		} else {
+		case r.Stored:
+			st.StoreHits++
+		case ran:
 			st.Runs++
 		}
 		done++
@@ -144,13 +188,16 @@ func Run(cfgs []system.Config, o Options) ([]Result, Stats) {
 			if ctx != nil && ctx.Err() != nil {
 				// Cancelled: unstarted points settle immediately instead of
 				// simulating; their Result.Err carries the context error.
-				settle(i, system.Result{}, ctx.Err(), false)
+				settle(i, Result{Err: ctx.Err()}, false)
 				continue
 			}
 			fp, cacheable := Fingerprint(cfg)
 			if o.DisableCache || !cacheable {
+				// The persistent store sits behind the fingerprint cache, so
+				// this path — disabled cache or uncacheable point — never
+				// touches it either: a plain run, every time.
 				res, err := safeRun(run, cfg)
-				settle(i, res, err, false)
+				settle(i, Result{Res: res, Err: err}, true)
 				continue
 			}
 			mu.Lock()
@@ -161,16 +208,31 @@ func Run(cfgs []system.Config, o Options) ([]Result, Stats) {
 			}
 			mu.Unlock()
 			if !hit {
-				e.res, e.err = safeRun(run, cfg)
+				// Owner: read through the persistent store, simulate on a
+				// miss (or any store error — corruption degrades to a rerun),
+				// and write the fresh result back. A failed Put is advisory:
+				// the point keeps its in-memory result and merely loses
+				// persistence.
+				if o.Store != nil {
+					if res, ok, err := o.Store.Get(fp); ok && err == nil {
+						e.res, e.stored = res, true
+					}
+				}
+				if !e.stored {
+					e.res, e.err = safeRun(run, cfg)
+					if o.Store != nil && e.err == nil {
+						_ = o.Store.Put(fp, e.res)
+					}
+				}
 				close(e.done)
-				settle(i, e.res, e.err, false)
+				settle(i, Result{Res: e.res, Err: e.err, Stored: e.stored, Fingerprint: fp}, true)
 				continue
 			}
 			// The owning worker is executing the entry right now (it
 			// never parks a claimed fingerprint), so this wait always
 			// makes progress.
 			<-e.done
-			settle(i, e.res, e.err, true)
+			settle(i, Result{Res: e.res, Err: e.err, Cached: true, Stored: e.stored, Fingerprint: fp}, false)
 		}
 	}
 

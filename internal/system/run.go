@@ -1040,7 +1040,8 @@ func (r *Runner) buildReport() *obs.Report {
 		sched = cfg.Scheduler.String()
 	}
 	rep := &obs.Report{
-		Design: cfg.Design.String(), App: cfg.App.Name, Gen: int(cfg.Gen),
+		SchemaVersion: obs.Schema,
+		Design:        cfg.Design.String(), App: cfg.App.Name, Gen: int(cfg.Gen),
 		ClockMHz: cfg.ClockMHz, Cycles: r.kern.Now(), Warmup: max(cfg.Warmup, 0), Seed: cfg.Seed,
 		Scheduler:   sched,
 		Generated:   r.met.Generated,

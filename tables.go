@@ -92,6 +92,11 @@ type TableOptions struct {
 	// (from its run block) channel configuration — under each driver's
 	// design/generation axes instead of the three builtin applications.
 	Spec *Spec
+	// Store, when non-nil, persists every grid point's result in the
+	// content-addressed result store: a table regenerated against a
+	// populated store simulates nothing and reproduces byte-identical
+	// output (see OpenStore).
+	Store *Store
 }
 
 // apps returns the applications a driver iterates: the paper's three,
@@ -132,8 +137,18 @@ func (o TableOptions) cycles() int64 {
 	return o.Cycles
 }
 
+// sweepOptions maps the table knobs onto the executor's. For grids of
+// your own construction, prefer the typed sweep facade (SweepGrid /
+// SweepOptions / Sweep): it subsumes Parallel, Progress and Store for
+// arbitrary point lists and additionally exposes cancellation and
+// per-point cache provenance — TableOptions keeps these fields only
+// for the fixed paper-table drivers.
 func (o TableOptions) sweepOptions() sweep.Options {
-	return sweep.Options{Workers: o.Parallel, OnProgress: o.Progress}
+	opts := sweep.Options{Workers: o.Parallel, OnProgress: o.Progress}
+	if o.Store != nil {
+		opts.Store = o.Store
+	}
+	return opts
 }
 
 // applyChecked arms the invariant layer on every grid point when the
